@@ -1,0 +1,401 @@
+// Benchmarks regenerating every evaluation artifact of the paper (Figures
+// 3–5, prose claims C1 and C2) plus the ablation benches DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The corresponding data series are printed by cmd/scilens-eval; these
+// benches measure the cost of regenerating them through the real pipeline.
+package scilens_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	scilens "repro"
+	"repro/internal/analytics"
+	"repro/internal/compute"
+	"repro/internal/dfs"
+	"repro/internal/migrate"
+	"repro/internal/rdbms"
+	"repro/internal/socialind"
+)
+
+// benchWorld is the shared fixture: a mid-size 20-day corpus ingested once.
+var (
+	benchOnce     sync.Once
+	benchPlatform *scilens.Platform
+	benchW        *scilens.World
+	benchErr      error
+)
+
+func benchFixture(b *testing.B) (*scilens.Platform, *scilens.World) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchPlatform, benchW, benchErr = scilens.Bootstrap(scilens.BootstrapConfig{
+			Seed: 1, Days: 20, RateScale: 0.5, ReactionScale: 0.3,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchPlatform, benchW
+}
+
+// BenchmarkFigure3SingleAssessment measures the real-time single-article
+// assessment path (paper Figure 3): store lookup, social aggregates and
+// expert-review aggregation per request.
+func BenchmarkFigure3SingleAssessment(b *testing.B) {
+	p, w := benchFixture(b)
+	ids := make([]string, len(w.Articles))
+	for i, a := range w.Articles {
+		ids[i] = a.ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AssessID(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3ColdEvaluation measures evaluating an arbitrary document
+// through the full indicator engine with the cache bypassed (the POST
+// /api/assess path for never-seen articles).
+func BenchmarkFigure3ColdEvaluation(b *testing.B) {
+	_, w := benchFixture(b)
+	engine := scilens.NewEngine(scilens.EngineConfig{CacheSize: -1})
+	docs := make([]string, 0, 256)
+	for _, a := range w.Articles[:min(256, len(w.Articles))] {
+		docs = append(docs, a.RawHTML)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Evaluate(docs[i%len(docs)], "", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4NewsroomActivity regenerates the Figure 4 series (facts
+// scan + per-outlet daily shares + class means + smoothing).
+func BenchmarkFigure4NewsroomActivity(b *testing.B) {
+	p, w := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure4(w.Start, w.Days); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5ReactionsKDE regenerates the Figure 5 left panel (social
+// reactions KDE per rating class).
+func BenchmarkFigure5ReactionsKDE(b *testing.B) {
+	p, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure5Engagement(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5EvidenceKDE regenerates the Figure 5 right panel
+// (scientific-reference-ratio KDE per rating class).
+func BenchmarkFigure5EvidenceKDE(b *testing.B) {
+	p, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure5Evidence(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClaimC1IngestThroughput measures the full streaming ingestion
+// path — queue, extraction, indicators, store — with producer/consumer
+// overlap, and reports events/s (claim C1: "handling daily thousands of
+// news articles").
+func BenchmarkClaimC1IngestThroughput(b *testing.B) {
+	world := scilens.GenerateWorld(scilens.WorldConfig{
+		Seed: 2, Days: 10, RateScale: 0.5, ReactionScale: 0.3,
+	})
+	events := len(world.Events())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := scilens.New(scilens.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.IngestWorld(world, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perOp, "events/s")
+	b.ReportMetric(float64(len(world.Articles))/perOp, "articles/s")
+}
+
+// BenchmarkClaimC2Consensus measures the indicator-assisted consensus
+// experiment over the stored corpus.
+func BenchmarkClaimC2Consensus(b *testing.B) {
+	p, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunConsensusExperiment(scilens.ConsensusConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIndexVsScan compares the real-time article-lookup path
+// with its secondary hash index against a full table scan — the "why an
+// RDBMS with indexes" design choice.
+func BenchmarkAblationIndexVsScan(b *testing.B) {
+	p, w := benchFixture(b)
+	table, err := p.DB.Table("articles")
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := make([]string, len(w.Articles))
+	for i, a := range w.Articles {
+		urls[i] = a.URL
+	}
+	b.Run("indexed-lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := table.LookupEq("url", rdbms.String(urls[i%len(urls)]))
+			if err != nil || len(rows) != 1 {
+				b.Fatalf("lookup: %v (%d rows)", err, len(rows))
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		urlCol := 3 // articles schema: url is column 3
+		for i := 0; i < b.N; i++ {
+			want := urls[i%len(urls)]
+			found := 0
+			table.Scan(func(r rdbms.Row) bool {
+				if r[urlCol].Str() == want {
+					found++
+					return false
+				}
+				return true
+			})
+			if found != 1 {
+				b.Fatal("not found")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelCompute runs the same feature-extraction job on
+// the compute layer with 1 vs. 8 workers — the "why a Spark-like layer"
+// design choice.
+func BenchmarkAblationParallelCompute(b *testing.B) {
+	_, w := benchFixture(b)
+	titles := make([]string, 0, 4096)
+	for _, a := range w.Articles {
+		titles = append(titles, a.RawHTML)
+	}
+	job := func(pool *compute.Pool, parts int) error {
+		ds := compute.FromSlice(titles, parts)
+		tokenised, err := compute.Map(pool, ds, func(s string) (int, error) {
+			return len(socialind.Tokens(s)), nil
+		})
+		if err != nil {
+			return err
+		}
+		_, err = compute.Reduce(pool, tokenised, 0,
+			func(acc, n int) int { return acc + n },
+			func(a, b int) int { return a + b })
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			pool := compute.NewPool(workers, 1)
+			for i := 0; i < b.N; i++ {
+				if err := job(pool, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSequentialVsParallelAnalytics compares the Figure 4
+// job computed sequentially against the partition-parallel compute-layer
+// version over a large fact set (the daily analytics of §3.3).
+func BenchmarkAblationSequentialVsParallelAnalytics(b *testing.B) {
+	p, w := benchFixture(b)
+	facts, err := p.BuildFacts()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Replicate facts to a size where parallelism matters.
+	big := make([]analytics.ArticleFact, 0, len(facts)*16)
+	for i := 0; i < 16; i++ {
+		big = append(big, facts...)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := analytics.NewsroomActivity(big, w.Start, w.Days); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			pool := compute.NewPool(workers, 1)
+			for i := 0; i < b.N; i++ {
+				if _, err := analytics.NewsroomActivityParallel(pool, big, w.Start, w.Days); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStanceLexVsModel compares lexicon-only stance
+// classification against the blended lexicon+naive-Bayes path the platform
+// trains periodically.
+func BenchmarkAblationStanceLexVsModel(b *testing.B) {
+	_, w := benchFixture(b)
+	var replies []string
+	for _, cascade := range w.Cascades {
+		for _, post := range cascade[1:] {
+			if post.Text != "" {
+				replies = append(replies, post.Text)
+			}
+		}
+		if len(replies) > 8192 {
+			break
+		}
+	}
+	if len(replies) == 0 {
+		b.Fatal("no replies in fixture")
+	}
+	lex := socialind.NewStanceClassifier()
+
+	// Weak-label with the lexicon, then train the model — the platform's
+	// periodic training job.
+	labels := make([]socialind.Stance, len(replies))
+	for i, r := range replies {
+		labels[i] = lex.Classify(r)
+	}
+	nb := socialind.TrainStanceModel(replies, labels)
+	blended := socialind.NewStanceClassifier()
+	blended.SetModel(nb)
+
+	b.Run("lexicon-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lex.Classify(replies[i%len(replies)])
+		}
+	})
+	b.Run("lexicon+model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blended.Classify(replies[i%len(replies)])
+		}
+	})
+}
+
+// BenchmarkAblationMigrationBatch sweeps the daily-migration write-batch
+// size: how many bytes are buffered per write pushed through the DFS block
+// pipeline.
+func BenchmarkAblationMigrationBatch(b *testing.B) {
+	p, _ := benchFixture(b)
+	table, err := p.DB.Table("articles")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{512, 4 << 10, 64 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("buf-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cluster, err := dfs.NewCluster(dfs.Config{DataNodes: 4, BlockSize: 1 << 18, Replication: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := migrate.ExportBuffered(table, cluster, "warehouse/bench.jsonl", size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamPublishConsume isolates the broker hot path: publish and
+// consume one message through a partitioned topic.
+func BenchmarkStreamPublishConsume(b *testing.B) {
+	world := scilens.GenerateWorld(scilens.WorldConfig{Seed: 3, Days: 3, RateScale: 0.2, ReactionScale: 0.1})
+	events := world.Events()
+	payloads := make([][]byte, len(events))
+	for i := range events {
+		payload, err := events[i].Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = payload
+	}
+	p, err := scilens.New(scilens.Config{QueueCapacity: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	consumer, err := p.Broker.Subscribe("postings", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer consumer.Close()
+	b.ResetTimer()
+	consumed := 0
+	for i := 0; i < b.N; i++ {
+		ev := &events[i%len(events)]
+		if _, err := p.Broker.Publish("postings", ev.ArticleURL, payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+		msgs, err := consumer.Poll(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumed += len(msgs)
+		if i%1024 == 0 {
+			if err := consumer.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := consumer.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	_ = consumed
+}
+
+// BenchmarkDailyMigration measures the full daily snapshot job over the
+// fixture's three tables.
+func BenchmarkDailyMigration(b *testing.B) {
+	p, w := benchFixture(b)
+	date := w.Start.AddDate(0, 0, w.Days)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh prefix per iteration: re-exporting the same snapshot
+		// date is rejected by design.
+		job := &migrate.Job{
+			DB: p.DB, Cluster: mustCluster(b), Tables: []string{"articles", "article_social", "replies"},
+			Prefix: fmt.Sprintf("bench-%d", i),
+		}
+		if _, err := job.Run(date); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustCluster(b *testing.B) *dfs.Cluster {
+	b.Helper()
+	c, err := dfs.NewCluster(dfs.Config{DataNodes: 4, BlockSize: 1 << 18, Replication: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,30 @@
+// Package scilens is the public API of the SciLens News Platform
+// reproduction (Romanou, Smeros, Castillo, Aberer; PVLDB 13(12), 2020): a
+// system that ingests social-media postings in real time, extracts the news
+// articles they point to, and computes heterogeneous quality indicators —
+// content (clickbait, subjectivity, readability, byline), news context
+// (internal / external / scientific references) and social media (reach and
+// stance) — alongside expert reviews and aggregated topic insights.
+//
+// The package is a facade over the platform's subsystems (the streaming
+// pipeline, the embedded relational store, the distributed-storage
+// simulator, the parallel compute layer, the ML models and the analytics
+// jobs). Typical use:
+//
+//	platform, world, err := scilens.Bootstrap(scilens.BootstrapConfig{Seed: 1, Days: 30})
+//	if err != nil { ... }
+//	a, err := platform.AssessURL(world.Articles[0].URL)
+//
+// or, for one-off evaluation of an arbitrary document (the paper's §4.1
+// "any arbitrary news article that a user wants to evaluate"):
+//
+//	report, err := scilens.EvaluateDocument(html, url)
+//
+// The aggregated demonstration analytics of paper §4 are exposed as
+// Platform methods: Figure4 (newsroom activity), Figure5Engagement and
+// Figure5Evidence (social-engagement and evidence-seeking KDEs), and
+// RunConsensusExperiment (the indicator-assisted consensus claim).
+//
+// Everything is deterministic for a fixed seed and uses only the Go
+// standard library.
+package scilens

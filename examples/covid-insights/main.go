@@ -1,0 +1,76 @@
+// covid-insights reproduces the paper's §4.2 news-topic insight workflow on
+// the synthetic COVID-19 segment: it boots the platform over the 60-day
+// demo window and derives the three per-class axes the demonstration
+// highlights — newsroom activity (Figure 4), social engagement and evidence
+// seeking (Figure 5).
+//
+// Run with:
+//
+//	go run ./examples/covid-insights
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scilens "repro"
+)
+
+func main() {
+	// A 60-day window at reduced posting rate keeps the example fast while
+	// preserving the class structure; raise RateScale toward 1.0 to
+	// approach the paper's corpus size.
+	platform, world, err := scilens.Bootstrap(scilens.BootstrapConfig{
+		Seed: 42, Days: scilens.WindowDays, RateScale: 0.3, ReactionScale: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d articles from %d days of the synthetic COVID-19 segment\n\n",
+		len(world.Articles), world.Days)
+
+	classes := []scilens.RatingClass{
+		scilens.Excellent, scilens.Good, scilens.Mixed, scilens.Poor, scilens.VeryPoor,
+	}
+
+	// Axis 1 — newsroom activity (Figure 4): how much of each outlet's
+	// daily output the topic consumes, averaged per rating class.
+	series, err := platform.Figure4(world.Start, world.Days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("newsroom activity — mean % of daily posts on COVID-19 (7-day smoothed)")
+	fmt.Printf("%-10s  %12s  %12s  %12s\n", "class", "days 0-20", "days 20-40", "days 40-60")
+	for _, c := range classes {
+		fmt.Printf("%-10s  %12.1f  %12.1f  %12.1f\n", c,
+			series.MeanOver(c, 0, 20), series.MeanOver(c, 20, 40), series.MeanOver(c, 40, 60))
+	}
+	fmt.Println("→ paper: classes start close; low-quality outlets dedicate a growing share.")
+	fmt.Println()
+
+	// Axis 2 — social engagement (Figure 5 left): reactions per article.
+	engagement, err := platform.Figure5Engagement(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("social engagement — reactions per article (log10 scale)")
+	fmt.Printf("%-10s  %8s  %8s  %8s\n", "class", "median", "p90", "spread")
+	for _, d := range engagement {
+		fmt.Printf("%-10s  %8.2f  %8.2f  %8.2f\n", d.Class, d.P50, d.P90, d.Spread())
+	}
+	fmt.Println("→ paper: low-quality outlets show a wider reaction distribution.")
+	fmt.Println()
+
+	// Axis 3 — evidence seeking (Figure 5 right): scientific-reference
+	// ratio of the references each article carries.
+	evidence, err := platform.Figure5Evidence(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("evidence seeking — scientific-reference ratio")
+	fmt.Printf("%-10s  %8s  %8s\n", "class", "mean", "median")
+	for _, d := range evidence {
+		fmt.Printf("%-10s  %8.2f  %8.2f\n", d.Class, d.Mean, d.P50)
+	}
+	fmt.Println("→ paper: high-quality outlets ground their reporting in scientific sources.")
+}

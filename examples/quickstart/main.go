@@ -1,0 +1,67 @@
+// Quickstart: evaluate a single news article end-to-end with the public
+// SciLens API — the "single article assessment" workflow of paper §4.1.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scilens "repro"
+)
+
+// doc is an arbitrary news document a user wants to evaluate (§4.1: the
+// platform assesses "any arbitrary news article").
+const doc = `<html>
+<head><title>You Won't Believe What This Common Vitamin Does To Your Brain!</title></head>
+<body>
+<p>Scientists are stunned by a so-called miracle cure that allegedly
+transforms memory overnight. Everyone is talking about this shocking trick,
+and honestly it is unbelievable.</p>
+<p>A post circulating online claims the effect was proven, but the original
+write-up links to no study at all.</p>
+</body>
+</html>`
+
+const betterDoc = `<html>
+<head><title>Trial finds modest memory improvement from vitamin D supplementation</title></head>
+<body>
+<span class="byline">By Alex Chen</span>
+<p>A randomised controlled trial of 412 adults found a modest improvement in
+recall tests after twelve months of vitamin D supplementation, researchers
+reported. The effect size was small and the authors caution that replication
+is needed.</p>
+<p>The study appears in <a href="https://www.nature.com/articles/vitd-memory">a
+peer-reviewed journal</a>; an independent summary is available from
+<a href="https://www.nih.gov/news/vitd-trial">the NIH</a>.</p>
+</body>
+</html>`
+
+func main() {
+	// One engine, reused across evaluations (it caches per URL).
+	engine := scilens.NewEngine(scilens.EngineConfig{})
+
+	for _, d := range []struct{ name, html, url string }{
+		{"clickbait post", doc, "https://viral.example/miracle-cure"},
+		{"sober reporting", betterDoc, "https://newsroom.example/vitd-trial"},
+	} {
+		report, err := engine.Evaluate(d.html, d.url, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("── %s ──\n", d.name)
+		fmt.Printf("title:            %s\n", report.Article.Title)
+		fmt.Printf("clickbait:        %.2f\n", report.Content.Clickbait)
+		fmt.Printf("subjectivity:     %.2f\n", report.Content.Subjectivity)
+		fmt.Printf("reading grade:    %.1f\n", report.Content.ReadingGrade)
+		fmt.Printf("byline:           %v\n", report.Content.HasByline)
+		fmt.Printf("references:       %d internal, %d external, %d scientific\n",
+			report.Context.InternalCount, report.Context.ExternalCount,
+			report.Context.ScientificCount)
+		fmt.Printf("source strength:  %.2f\n", report.Context.SourceStrength)
+		fmt.Printf("composite score:  %.2f  (0 = lowest quality, 1 = highest)\n\n", report.Composite)
+	}
+}

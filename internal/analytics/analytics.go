@@ -1,0 +1,265 @@
+// Package analytics computes the aggregated news-topic insights of paper
+// §4: the newsroom-activity time series of Figure 4, the social-engagement
+// and evidence-seeking KDEs of Figure 5, and the indicator-assisted
+// consensus experiment behind the claim (from Smeros et al., restated in
+// §1) that the indicators help users reach better consensus on article
+// quality.
+//
+// All functions are pure: they consume ArticleFact records that the
+// platform derives from its stores, so the same analytics run on the
+// streaming path, the warehouse path and in tests.
+package analytics
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/kde"
+	"repro/internal/mlcore"
+	"repro/internal/outlets"
+)
+
+// ErrNoData is returned when a computation receives no usable facts.
+var ErrNoData = errors.New("analytics: no data")
+
+// ArticleFact is the per-article record the analytics consume.
+type ArticleFact struct {
+	// ArticleID identifies the article.
+	ArticleID string
+	// OutletID is the publishing outlet.
+	OutletID string
+	// Rating is the outlet's quality class.
+	Rating outlets.RatingClass
+	// Published is the publication time.
+	Published time.Time
+	// IsTopic reports whether the article belongs to the analysed topic
+	// (COVID-19 in the demo).
+	IsTopic bool
+	// Reactions is the article's social-media reaction count.
+	Reactions int
+	// SciRatio is the scientific-reference ratio (refind).
+	SciRatio float64
+	// HasRefs reports whether the article had any references at all
+	// (articles without references are excluded from the Figure 5 right
+	// panel, as a ratio of 0/0 is undefined).
+	HasRefs bool
+	// Composite is the unified automated quality score in [0, 1]
+	// (indicators engine); used by the consensus experiment.
+	Composite float64
+}
+
+// ActivitySeries is the Figure 4 data: per rating class, the mean
+// percentage of each outlet's daily posts that covered the topic.
+type ActivitySeries struct {
+	// Start is day 0; Days is the series length.
+	Start time.Time
+	Days  int
+	// MeanSharePct[class][day] is the across-outlet mean of
+	// (topic posts / all posts) * 100 for the day; NaN-free (days where a
+	// class published nothing report 0).
+	MeanSharePct map[outlets.RatingClass][]float64
+}
+
+// NewsroomActivity computes the Figure 4 series over [start, start+days).
+// Per outlet and day the topic share is topicPosts/totalPosts; the class
+// series is the mean over outlets that published at least one article that
+// day.
+func NewsroomActivity(facts []ArticleFact, start time.Time, days int) (*ActivitySeries, error) {
+	if len(facts) == 0 || days <= 0 {
+		return nil, ErrNoData
+	}
+	type cell struct{ topic, total int }
+	// (outlet, day) -> counts, plus outlet -> class.
+	counts := make(map[string][]cell)
+	class := make(map[string]outlets.RatingClass)
+	for _, f := range facts {
+		day := int(f.Published.Sub(start).Hours() / 24)
+		if day < 0 || day >= days {
+			continue
+		}
+		row, ok := counts[f.OutletID]
+		if !ok {
+			row = make([]cell, days)
+			counts[f.OutletID] = row
+			class[f.OutletID] = f.Rating
+		}
+		row[day].total++
+		if f.IsTopic {
+			row[day].topic++
+		}
+	}
+	if len(counts) == 0 {
+		return nil, ErrNoData
+	}
+	s := &ActivitySeries{Start: start, Days: days, MeanSharePct: make(map[outlets.RatingClass][]float64)}
+	for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+		s.MeanSharePct[c] = make([]float64, days)
+	}
+	for day := 0; day < days; day++ {
+		sum := make(map[outlets.RatingClass]float64)
+		n := make(map[outlets.RatingClass]int)
+		for outlet, row := range counts {
+			if row[day].total == 0 {
+				continue
+			}
+			c := class[outlet]
+			sum[c] += float64(row[day].topic) / float64(row[day].total) * 100
+			n[c]++
+		}
+		for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+			if n[c] > 0 {
+				s.MeanSharePct[c][day] = sum[c] / float64(n[c])
+			}
+		}
+	}
+	return s, nil
+}
+
+// Smooth applies a centred moving average of the given window to each
+// class series (the paper's figure plots smoothed curves). Window < 2
+// returns the series unchanged.
+func (s *ActivitySeries) Smooth(window int) *ActivitySeries {
+	if window < 2 {
+		return s
+	}
+	out := &ActivitySeries{Start: s.Start, Days: s.Days, MeanSharePct: make(map[outlets.RatingClass][]float64)}
+	half := window / 2
+	for c, series := range s.MeanSharePct {
+		sm := make([]float64, len(series))
+		for i := range series {
+			lo := i - half
+			hi := i + half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(series) {
+				hi = len(series) - 1
+			}
+			var sum float64
+			for j := lo; j <= hi; j++ {
+				sum += series[j]
+			}
+			sm[i] = sum / float64(hi-lo+1)
+		}
+		out.MeanSharePct[c] = sm
+	}
+	return out
+}
+
+// MeanOver returns the mean share over a day range [from, to) for a class.
+func (s *ActivitySeries) MeanOver(c outlets.RatingClass, from, to int) float64 {
+	series := s.MeanSharePct[c]
+	if from < 0 {
+		from = 0
+	}
+	if to > len(series) {
+		to = len(series)
+	}
+	if from >= to {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+// ClassDensity is one class's KDE curve plus summary statistics.
+type ClassDensity struct {
+	// Class is the rating class.
+	Class outlets.RatingClass
+	// Grid is the evaluated density curve.
+	Grid kde.Grid
+	// N is the sample size.
+	N int
+	// Mean, Std, P10, P50, P90 summarise the underlying sample.
+	Mean, Std, P10, P50, P90 float64
+}
+
+// EngagementKDE computes the Figure 5 (left) densities: per class, a KDE
+// over log10(1+reactions). All classes are evaluated on a shared grid so
+// the curves are directly comparable.
+func EngagementKDE(facts []ArticleFact, gridPoints int) ([]ClassDensity, error) {
+	samples := make(map[outlets.RatingClass][]float64)
+	var lo, hi float64
+	first := true
+	for _, f := range facts {
+		x := math.Log10(1 + float64(f.Reactions))
+		samples[f.Rating] = append(samples[f.Rating], x)
+		if first || x < lo {
+			lo = x
+		}
+		if first || x > hi {
+			hi = x
+		}
+		first = false
+	}
+	return classKDEs(samples, lo, hi, gridPoints)
+}
+
+// EvidenceKDE computes the Figure 5 (right) densities: per class, a KDE
+// over the scientific-reference ratio of articles that have references.
+func EvidenceKDE(facts []ArticleFact, gridPoints int) ([]ClassDensity, error) {
+	samples := make(map[outlets.RatingClass][]float64)
+	for _, f := range facts {
+		if !f.HasRefs {
+			continue
+		}
+		samples[f.Rating] = append(samples[f.Rating], f.SciRatio)
+	}
+	return classKDEs(samples, 0, 1, gridPoints)
+}
+
+func classKDEs(samples map[outlets.RatingClass][]float64, lo, hi float64, gridPoints int) ([]ClassDensity, error) {
+	if gridPoints < 2 {
+		gridPoints = 128
+	}
+	// Fit all classes first so every curve is evaluated on one shared
+	// grid (padded by the widest bandwidth) and stays comparable.
+	type fitted struct {
+		class outlets.RatingClass
+		k     *kde.KDE
+		xs    []float64
+	}
+	var fits []fitted
+	maxBW := 0.0
+	for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+		xs := samples[c]
+		if len(xs) == 0 {
+			continue
+		}
+		k, err := kde.New(xs, 0)
+		if err != nil {
+			continue
+		}
+		if k.Bandwidth > maxBW {
+			maxBW = k.Bandwidth
+		}
+		fits = append(fits, fitted{class: c, k: k, xs: xs})
+	}
+	if len(fits) == 0 {
+		return nil, ErrNoData
+	}
+	pad := 2 * maxBW
+	out := make([]ClassDensity, 0, len(fits))
+	for _, f := range fits {
+		out = append(out, ClassDensity{
+			Class: f.class,
+			Grid:  f.k.Evaluate(lo-pad, hi+pad, gridPoints),
+			N:     len(f.xs),
+			Mean:  mlcore.Mean(f.xs),
+			Std:   mlcore.StdDev(f.xs),
+			P10:   mlcore.Quantile(f.xs, 0.10),
+			P50:   mlcore.Quantile(f.xs, 0.50),
+			P90:   mlcore.Quantile(f.xs, 0.90),
+		})
+	}
+	return out, nil
+}
+
+// Spread returns P90-P10, the robust width used to compare distribution
+// wideness across classes (Figure 5 left: low-quality outlets have wider
+// reaction distributions).
+func (d ClassDensity) Spread() float64 { return d.P90 - d.P10 }

@@ -1,0 +1,91 @@
+package analytics
+
+import (
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/outlets"
+)
+
+// NewsroomActivityParallel computes exactly the same series as
+// NewsroomActivity, but as a partition-parallel job on the compute layer —
+// the shape of the platform's daily analytics run on the Spark-like stack
+// (paper §3.3): filter to the window, reduce (outlet, day) cells by key,
+// then fold the per-class means on the driver.
+//
+// The sequential and parallel versions are verified equivalent in tests;
+// the ablation bench BenchmarkAblationParallelCompute records when the
+// parallel version pays off.
+func NewsroomActivityParallel(pool *compute.Pool, facts []ArticleFact, start time.Time, days int) (*ActivitySeries, error) {
+	if len(facts) == 0 || days <= 0 {
+		return nil, ErrNoData
+	}
+	type cellKey struct {
+		Outlet string
+		Day    int
+	}
+	type cellVal struct {
+		Topic, Total int
+		Class        outlets.RatingClass
+	}
+
+	ds := compute.FromSlice(facts, pool.Workers())
+	inWindow, err := compute.Filter(pool, ds, func(f ArticleFact) (bool, error) {
+		day := int(f.Published.Sub(start).Hours() / 24)
+		return day >= 0 && day < days, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells, err := compute.ReduceByKey(pool, inWindow,
+		func(f ArticleFact) (cellKey, cellVal, error) {
+			day := int(f.Published.Sub(start).Hours() / 24)
+			v := cellVal{Total: 1, Class: f.Rating}
+			if f.IsTopic {
+				v.Topic = 1
+			}
+			return cellKey{Outlet: f.OutletID, Day: day}, v, nil
+		},
+		func(a, b cellVal) cellVal {
+			return cellVal{Topic: a.Topic + b.Topic, Total: a.Total + b.Total, Class: a.Class}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Driver-side fold: per day and class, mean share over active outlets.
+	pairs := cells.Collect()
+	if len(pairs) == 0 {
+		return nil, ErrNoData
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	perDay := make(map[int]map[outlets.RatingClass]*agg, days)
+	for _, p := range pairs {
+		byClass, ok := perDay[p.Key.Day]
+		if !ok {
+			byClass = make(map[outlets.RatingClass]*agg)
+			perDay[p.Key.Day] = byClass
+		}
+		a, ok := byClass[p.Val.Class]
+		if !ok {
+			a = &agg{}
+			byClass[p.Val.Class] = a
+		}
+		a.sum += float64(p.Val.Topic) / float64(p.Val.Total) * 100
+		a.n++
+	}
+	s := &ActivitySeries{Start: start, Days: days, MeanSharePct: make(map[outlets.RatingClass][]float64)}
+	for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+		series := make([]float64, days)
+		for day, byClass := range perDay {
+			if a := byClass[c]; a != nil && a.n > 0 {
+				series[day] = a.sum / float64(a.n)
+			}
+		}
+		s.MeanSharePct[c] = series
+	}
+	return s, nil
+}

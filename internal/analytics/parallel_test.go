@@ -1,0 +1,49 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/outlets"
+)
+
+func TestNewsroomActivityParallelEquivalence(t *testing.T) {
+	facts := syntheticFacts(20000, 11)
+	sequential, err := NewsroomActivity(facts, start, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		pool := compute.NewPool(workers, 1)
+		parallel, err := NewsroomActivityParallel(pool, facts, start, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+			for day := 0; day < 60; day++ {
+				a := sequential.MeanSharePct[c][day]
+				b := parallel.MeanSharePct[c][day]
+				if math.Abs(a-b) > 1e-9 {
+					t.Fatalf("workers=%d class=%v day=%d: %v vs %v", workers, c, day, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNewsroomActivityParallelErrors(t *testing.T) {
+	pool := compute.NewPool(2, 0)
+	if _, err := NewsroomActivityParallel(pool, nil, start, 10); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := NewsroomActivityParallel(pool, syntheticFacts(10, 1), start, 0); !errors.Is(err, ErrNoData) {
+		t.Errorf("zero days: %v", err)
+	}
+	// Facts entirely outside the window.
+	far := []ArticleFact{{OutletID: "o", Published: start.AddDate(2, 0, 0)}}
+	if _, err := NewsroomActivityParallel(pool, far, start, 10); !errors.Is(err, ErrNoData) {
+		t.Errorf("out of window: %v", err)
+	}
+}

@@ -1,0 +1,509 @@
+// Package api implements the Indicators API of paper §3.3: lightweight,
+// loosely coupled micro-services that compute and serve article quality
+// indicators to the web application in real time.
+//
+// Three services are exposed, each with its own mux so they can be mounted
+// together in one process (the demo deployment) or served separately:
+//
+//   - AssessmentService: single-article evaluation (paper Figure 3) — both
+//     stored articles and arbitrary user-supplied documents.
+//   - InsightsService: aggregated topic insights (Figures 4 and 5).
+//   - ReviewService: expert review submission and retrieval (§3.2).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/outlets"
+	"repro/internal/reviews"
+	"repro/internal/synth"
+)
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// AssessmentService serves single-article assessments.
+type AssessmentService struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewAssessmentService mounts the assessment endpoints.
+func NewAssessmentService(p *core.Platform) *AssessmentService {
+	s := &AssessmentService{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/assess", s.handleAssessStored)
+	s.mux.HandleFunc("POST /api/assess", s.handleAssessDocument)
+	s.mux.HandleFunc("POST /api/assess/batch", s.handleAssessBatch)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *AssessmentService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request) {
+	stats := s.platform.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"postings":  stats.Postings,
+		"reactions": stats.Reactions,
+	})
+}
+
+// handleAssessStored evaluates an ingested article by url or id.
+func (s *AssessmentService) handleAssessStored(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	id := r.URL.Query().Get("id")
+	var (
+		a   *core.Assessment
+		err error
+	)
+	switch {
+	case url != "":
+		a, err = s.platform.AssessURL(url)
+	case id != "":
+		a, err = s.platform.AssessID(id)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("url or id query parameter required"))
+		return
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrNotIngested) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+// assessRequest is the POST /api/assess body: an arbitrary document to
+// evaluate in real time ("any arbitrary news article that a user wants to
+// evaluate", §4.1).
+type assessRequest struct {
+	URL  string `json:"url"`
+	HTML string `json:"html"`
+}
+
+// assessResponse is the real-time evaluation payload.
+type assessResponse struct {
+	Title           string               `json:"title"`
+	Byline          string               `json:"byline,omitempty"`
+	Clickbait       float64              `json:"clickbait"`
+	Subjectivity    float64              `json:"subjectivity"`
+	ReadingGrade    float64              `json:"reading_grade"`
+	HasByline       bool                 `json:"has_byline"`
+	InternalRefs    int                  `json:"internal_refs"`
+	ExternalRefs    int                  `json:"external_refs"`
+	ScientificRefs  int                  `json:"scientific_refs"`
+	ScientificRatio float64              `json:"scientific_ratio"`
+	SourceStrength  float64              `json:"source_strength"`
+	Composite       float64              `json:"composite"`
+	Topics          []assessTopicPayload `json:"topics,omitempty"`
+}
+
+type assessTopicPayload struct {
+	Topic string  `json:"topic"`
+	Prob  float64 `json:"prob"`
+}
+
+func (s *AssessmentService) handleAssessDocument(w http.ResponseWriter, r *http.Request) {
+	var req assessRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.HTML == "" {
+		writeError(w, http.StatusBadRequest, errors.New("html field required"))
+		return
+	}
+	report, err := s.platform.Engine.Evaluate(req.HTML, req.URL, nil)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := assessResponse{
+		Title:           report.Article.Title,
+		Byline:          report.Article.Byline,
+		Clickbait:       report.Content.Clickbait,
+		Subjectivity:    report.Content.Subjectivity,
+		ReadingGrade:    report.Content.ReadingGrade,
+		HasByline:       report.Content.HasByline,
+		InternalRefs:    report.Context.InternalCount,
+		ExternalRefs:    report.Context.ExternalCount,
+		ScientificRefs:  report.Context.ScientificCount,
+		ScientificRatio: report.Context.ScientificRatio,
+		SourceStrength:  report.Context.SourceStrength,
+		Composite:       report.Composite,
+	}
+	for _, t := range report.Topics {
+		resp.Topics = append(resp.Topics, assessTopicPayload{Topic: t.Topic, Prob: t.Prob})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the POST /api/assess/batch body: stored article IDs to
+// assess in one round trip (the web app's list views).
+type batchRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// batchResponse carries per-ID results; unknown IDs are reported in
+// Missing rather than failing the whole batch.
+type batchResponse struct {
+	Assessments []*core.Assessment `json:"assessments"`
+	Missing     []string           `json:"missing,omitempty"`
+}
+
+const maxBatchSize = 256
+
+func (s *AssessmentService) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("ids field required"))
+		return
+	}
+	if len(req.IDs) > maxBatchSize {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch too large: %d > %d", len(req.IDs), maxBatchSize))
+		return
+	}
+	resp := batchResponse{Assessments: make([]*core.Assessment, 0, len(req.IDs))}
+	for _, id := range req.IDs {
+		a, err := s.platform.AssessID(id)
+		if err != nil {
+			if errors.Is(err, core.ErrNotIngested) {
+				resp.Missing = append(resp.Missing, id)
+				continue
+			}
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Assessments = append(resp.Assessments, a)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// InsightsService serves the aggregated topic insights.
+type InsightsService struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewInsightsService mounts the insights endpoints.
+func NewInsightsService(p *core.Platform) *InsightsService {
+	s := &InsightsService{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/insights/activity", s.handleActivity)
+	s.mux.HandleFunc("GET /api/insights/engagement", s.handleEngagement)
+	s.mux.HandleFunc("GET /api/insights/evidence", s.handleEvidence)
+	s.mux.HandleFunc("GET /api/insights/consensus", s.handleConsensus)
+	s.mux.HandleFunc("GET /api/insights/outlets", s.handleOutletQuality)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *InsightsService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// activityResponse is the Figure 4 payload.
+type activityResponse struct {
+	Start  time.Time            `json:"start"`
+	Days   int                  `json:"days"`
+	Series map[string][]float64 `json:"series"` // class label -> daily %
+}
+
+func (s *InsightsService) handleActivity(w http.ResponseWriter, r *http.Request) {
+	days := queryInt(r, "days", synth.WindowDays)
+	start := synth.WindowStart
+	if v := r.URL.Query().Get("start"); v != "" {
+		t, err := time.Parse("2006-01-02", v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad start date: %w", err))
+			return
+		}
+		start = t
+	}
+	series, err := s.platform.Figure4(start, days)
+	if err != nil {
+		if errors.Is(err, analytics.ErrNoData) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := activityResponse{Start: series.Start, Days: series.Days, Series: map[string][]float64{}}
+	for c, vals := range series.MeanSharePct {
+		resp.Series[c.String()] = vals
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// densityResponse is one class's KDE payload.
+type densityResponse struct {
+	Class  string    `json:"class"`
+	N      int       `json:"n"`
+	Mean   float64   `json:"mean"`
+	Std    float64   `json:"std"`
+	P10    float64   `json:"p10"`
+	Median float64   `json:"median"`
+	P90    float64   `json:"p90"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+func densitiesPayload(ds []analytics.ClassDensity) []densityResponse {
+	out := make([]densityResponse, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, densityResponse{
+			Class: d.Class.String(), N: d.N, Mean: d.Mean, Std: d.Std,
+			P10: d.P10, Median: d.P50, P90: d.P90, X: d.Grid.X, Y: d.Grid.Y,
+		})
+	}
+	return out
+}
+
+func (s *InsightsService) handleEngagement(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.platform.Figure5Engagement(queryInt(r, "points", 128))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, densitiesPayload(ds))
+}
+
+func (s *InsightsService) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.platform.Figure5Evidence(queryInt(r, "points", 128))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, densitiesPayload(ds))
+}
+
+func (s *InsightsService) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	res, err := s.platform.RunConsensusExperiment(analytics.ConsensusConfig{
+		Raters: queryInt(r, "raters", 12),
+		Seed:   int64(queryInt(r, "seed", 1)),
+	})
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"disagreement_without": res.DisagreementWithout,
+		"disagreement_with":    res.DisagreementWith,
+		"reduction":            res.DisagreementReduction(),
+		"mae_without":          res.MAEWithout,
+		"mae_with":             res.MAEWith,
+		"accuracy_gain":        res.AccuracyGain(),
+		"corr_without":         res.CorrWithout,
+		"corr_with":            res.CorrWith,
+		"articles":             res.Articles,
+		"raters":               res.Raters,
+	})
+}
+
+// outletQualityResponse is one outlet's review-derived quality.
+type outletQualityResponse struct {
+	OutletID string  `json:"outlet_id"`
+	Score    float64 `json:"score"`
+	Reviews  int     `json:"reviews"`
+	Band     int     `json:"band"`
+}
+
+// handleOutletQuality serves the review-derived outlet quality
+// segmentation (§3.3: outlet quality "computed using the expert reviews").
+func (s *InsightsService) handleOutletQuality(w http.ResponseWriter, r *http.Request) {
+	bands := queryInt(r, "bands", 5)
+	segments, err := s.platform.SegmentOutletsByReviewQuality(bands)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var out []outletQualityResponse
+	for band, segment := range segments {
+		for _, oq := range segment {
+			out = append(out, outletQualityResponse{
+				OutletID: oq.OutletID, Score: oq.Score, Reviews: oq.Reviews, Band: band,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ReviewService serves expert review submission and retrieval.
+type ReviewService struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewReviewService mounts the review endpoints.
+func NewReviewService(p *core.Platform) *ReviewService {
+	s := &ReviewService{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/reviews", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/reviews", s.handleList)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ReviewService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// reviewRequest is the POST /api/reviews body.
+type reviewRequest struct {
+	ArticleID string `json:"article_id"`
+	Reviewer  string `json:"reviewer"`
+	// Scores maps criterion label to Likert score; all seven required.
+	Scores map[string]int `json:"scores"`
+	Text   string         `json:"text,omitempty"`
+}
+
+// criterionByLabel resolves the paper's criterion labels.
+var criterionByLabel = func() map[string]reviews.Criterion {
+	m := make(map[string]reviews.Criterion, reviews.NumCriteria)
+	for c := reviews.Criterion(0); c < reviews.NumCriteria; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+func (s *ReviewService) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req reviewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	review := reviews.Review{
+		ArticleID: req.ArticleID,
+		Reviewer:  req.Reviewer,
+		Text:      req.Text,
+		Time:      s.platform.Clock(),
+	}
+	if len(req.Scores) != reviews.NumCriteria {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("all %d criteria required, got %d", reviews.NumCriteria, len(req.Scores)))
+		return
+	}
+	for label, score := range req.Scores {
+		c, ok := criterionByLabel[label]
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown criterion %q", label))
+			return
+		}
+		review.Scores[c] = score
+	}
+	id, err := s.platform.Reviews.Submit(review)
+	if err != nil {
+		if errors.Is(err, reviews.ErrBadScore) || errors.Is(err, reviews.ErrIncomplete) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+}
+
+func (s *ReviewService) handleList(w http.ResponseWriter, r *http.Request) {
+	articleID := r.URL.Query().Get("article_id")
+	if articleID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("article_id query parameter required"))
+		return
+	}
+	agg, err := s.platform.Reviews.AggregateAt(articleID, s.platform.Clock())
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	perCriterion := map[string]float64{}
+	for c := reviews.Criterion(0); c < reviews.NumCriteria; c++ {
+		perCriterion[c.String()] = agg.PerCriterion[c]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"article_id":    articleID,
+		"overall":       agg.Overall,
+		"count":         agg.Count,
+		"per_criterion": perCriterion,
+		"texts":         agg.Texts,
+	})
+}
+
+// Server mounts all three micro-services on one mux (the demo deployment).
+type Server struct {
+	mux *http.ServeMux
+}
+
+// NewServer composes the services for the platform.
+func NewServer(p *core.Platform) *Server {
+	s := &Server{mux: http.NewServeMux()}
+	assessment := NewAssessmentService(p)
+	insights := NewInsightsService(p)
+	review := NewReviewService(p)
+	s.mux.Handle("/api/assess", assessment)
+	s.mux.Handle("/api/assess/", assessment)
+	s.mux.Handle("/api/health", assessment)
+	s.mux.Handle("/api/insights/", insights)
+	s.mux.Handle("/api/reviews", review)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n := 0
+	for _, ch := range v {
+		if ch < '0' || ch > '9' {
+			return def
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if n == 0 {
+		return def
+	}
+	return n
+}
+
+// RatingLabels exposes the class labels for clients.
+func RatingLabels() []string {
+	out := make([]string, 0, outlets.NumClasses)
+	for c := outlets.Excellent; c <= outlets.VeryPoor; c++ {
+		out = append(out, c.String())
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package classify
+
+import (
+	"math/rand"
+
+	"repro/internal/mlcore"
+)
+
+// Perceptron is an averaged perceptron: a fast, robust online binary
+// classifier. The averaged weights substantially reduce the variance of the
+// vanilla perceptron on noisy news text.
+type Perceptron struct {
+	// W holds the averaged weights (valid after Finalize or TrainPerceptron).
+	W []float64
+	// B is the averaged bias.
+	B float64
+
+	w, wSum []float64
+	b, bSum float64
+	steps   float64
+}
+
+// NewPerceptron returns an untrained perceptron with the given feature
+// dimensionality.
+func NewPerceptron(dim int) *Perceptron {
+	return &Perceptron{
+		w:    make([]float64, dim),
+		wSum: make([]float64, dim),
+	}
+}
+
+// Observe performs one online update and reports whether the example was
+// misclassified (and therefore triggered an update).
+func (p *Perceptron) Observe(x mlcore.SparseVector, y bool) bool {
+	p.steps++
+	score := x.DotDense(p.w) + p.b
+	pred := score >= 0
+	if pred != y {
+		dir := 1.0
+		if !y {
+			dir = -1.0
+		}
+		for i, v := range x {
+			if i >= 0 && i < len(p.w) {
+				p.w[i] += dir * v
+			}
+		}
+		p.b += dir
+	}
+	// Accumulate for averaging after every observation.
+	for i := range p.w {
+		p.wSum[i] += p.w[i]
+	}
+	p.bSum += p.b
+	return pred != y
+}
+
+// Finalize computes the averaged weights into W and B. It can be called
+// repeatedly; later Observes refine the average.
+func (p *Perceptron) Finalize() {
+	if p.steps == 0 {
+		p.W = make([]float64, len(p.w))
+		p.B = 0
+		return
+	}
+	p.W = make([]float64, len(p.w))
+	for i := range p.w {
+		p.W[i] = p.wSum[i] / p.steps
+	}
+	p.B = p.bSum / p.steps
+}
+
+// Predict returns the averaged-weight prediction. Call Finalize first
+// after training; Predict on an unfinalised model finalises lazily.
+func (p *Perceptron) Predict(x mlcore.SparseVector) bool {
+	if p.W == nil {
+		p.Finalize()
+	}
+	return x.DotDense(p.W)+p.B >= 0
+}
+
+// TrainPerceptron trains an averaged perceptron for the given number of
+// epochs over shuffled data and finalises it.
+func TrainPerceptron(data []Example, dim, epochs int, seed int64) (*Perceptron, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	if dim <= 0 {
+		return nil, ErrDimension
+	}
+	if epochs <= 0 {
+		epochs = 10
+	}
+	p := NewPerceptron(dim)
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			p.Observe(data[idx].X, data[idx].Y)
+		}
+	}
+	p.Finalize()
+	return p, nil
+}

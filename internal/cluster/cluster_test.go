@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mlcore"
+)
+
+// threeBlobVectors builds three well-separated groups of sparse vectors:
+// group g has mass on features [g*10, g*10+5).
+func threeBlobVectors(perGroup int, seed int64) ([]mlcore.SparseVector, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var vs []mlcore.SparseVector
+	var gold []int
+	for g := 0; g < 3; g++ {
+		for i := 0; i < perGroup; i++ {
+			v := make(mlcore.SparseVector)
+			for j := 0; j < 5; j++ {
+				v[g*10+j] = 0.5 + rng.Float64()
+			}
+			// A little cross-group noise.
+			v[30+rng.Intn(5)] = 0.1 * rng.Float64()
+			vs = append(vs, v.L2Normalize())
+			gold = append(gold, g)
+		}
+	}
+	return vs, gold
+}
+
+// clusterPurity computes the fraction of points whose cluster's majority
+// gold label matches their own.
+func clusterPurity(assign, gold []int, k int) float64 {
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, c := range assign {
+		counts[c][gold[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	vs, gold := threeBlobVectors(30, 1)
+	res, err := KMeans(vs, 3, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity := clusterPurity(res.Assignments, gold, 3); purity < 0.95 {
+		t.Errorf("purity too low: %v", purity)
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("centroids: %d", len(res.Centroids))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 10, 0); err != ErrNoVectors {
+		t.Errorf("empty: %v", err)
+	}
+	vs, _ := threeBlobVectors(2, 2)
+	if _, err := KMeans(vs, 0, 10, 0); err != ErrBadK {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := KMeans(vs, 100, 10, 0); err != ErrBadK {
+		t.Errorf("k>n: %v", err)
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	vs, _ := threeBlobVectors(5, 3)
+	res, err := KMeans(vs, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatal("k=1 must assign all to cluster 0")
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vs, _ := threeBlobVectors(20, 4)
+	a, _ := KMeans(vs, 3, 50, 7)
+	b, _ := KMeans(vs, 3, 50, 7)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed should give same assignment")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	vs := make([]mlcore.SparseVector, 6)
+	for i := range vs {
+		vs[i] = mlcore.SparseVector{0: 1}
+	}
+	res, err := KMeans(vs, 2, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 6 {
+		t.Error("assignments missing")
+	}
+}
+
+func TestBuildHierarchyShape(t *testing.T) {
+	vs, _ := threeBlobVectors(40, 5)
+	root, err := BuildHierarchy(vs, HierarchyConfig{Branch: 3, MaxDepth: 2, MinLeaf: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.ID != "root" || root.Depth != 0 {
+		t.Errorf("root: %+v", root)
+	}
+	if len(root.Members) != 120 {
+		t.Errorf("root members: %d", len(root.Members))
+	}
+	if root.IsLeaf() {
+		t.Fatal("root should have been split")
+	}
+	// Every member appears exactly once among children.
+	seen := make(map[int]int)
+	for _, c := range root.Children {
+		for _, m := range c.Members {
+			seen[m]++
+		}
+	}
+	if len(seen) != 120 {
+		t.Errorf("children cover %d of 120 members", len(seen))
+	}
+	for m, n := range seen {
+		if n != 1 {
+			t.Fatalf("member %d appears %d times", m, n)
+		}
+	}
+	if NodeCount(root) < 4 {
+		t.Errorf("tree too small: %d nodes", NodeCount(root))
+	}
+}
+
+func TestBuildHierarchyEmpty(t *testing.T) {
+	if _, err := BuildHierarchy(nil, HierarchyConfig{}); err != ErrNoVectors {
+		t.Errorf("want ErrNoVectors, got %v", err)
+	}
+}
+
+func TestBuildHierarchySmallCorpusStaysLeaf(t *testing.T) {
+	vs, _ := threeBlobVectors(2, 6) // 6 vectors < MinLeaf*Branch
+	root, err := BuildHierarchy(vs, HierarchyConfig{Branch: 2, MaxDepth: 3, MinLeaf: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsLeaf() {
+		t.Error("tiny corpus should not split")
+	}
+}
+
+func TestAssignConcentratesOnOwnBlob(t *testing.T) {
+	vs, gold := threeBlobVectors(40, 7)
+	root, err := BuildHierarchy(vs, HierarchyConfig{Branch: 3, MaxDepth: 1, MinLeaf: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 3 {
+		t.Skipf("split produced %d children; need 3 for this check", len(root.Children))
+	}
+	// Find which child holds the majority of each gold group.
+	majority := make(map[int]*TopicNode)
+	for _, c := range root.Children {
+		counts := map[int]int{}
+		for _, m := range c.Members {
+			counts[gold[m]]++
+		}
+		bestG, bestN := -1, 0
+		for g, n := range counts {
+			if n > bestN {
+				bestG, bestN = g, n
+			}
+		}
+		majority[bestG] = c
+	}
+	// A fresh vector from group 0 should be assigned to group 0's node
+	// with dominant probability.
+	probe := make(mlcore.SparseVector)
+	for j := 0; j < 5; j++ {
+		probe[j] = 1
+	}
+	probe.L2Normalize()
+	assignments := Assign(root, probe, 0.1, 0.01)
+	if len(assignments) == 0 {
+		t.Fatal("no assignments")
+	}
+	var bestNode *TopicNode
+	bestP := -1.0
+	total := 0.0
+	for _, a := range assignments {
+		total += a.Prob
+		if a.Prob > bestP {
+			bestP, bestNode = a.Prob, a.Node
+		}
+	}
+	if want := majority[0]; want != nil && bestNode != want {
+		t.Errorf("probe assigned to %s (p=%.2f), want %s", bestNode.ID, bestP, want.ID)
+	}
+	if total > 1.0001 {
+		t.Errorf("probabilities exceed 1: %v", total)
+	}
+}
+
+func TestAssignProbabilitiesSumAtMostOnePerLevel(t *testing.T) {
+	vs, _ := threeBlobVectors(40, 8)
+	root, _ := BuildHierarchy(vs, HierarchyConfig{Branch: 2, MaxDepth: 2, MinLeaf: 5, Seed: 3})
+	probe := vs[0]
+	assignments := Assign(root, probe, 0.2, 0)
+	levelSum := make(map[int]float64)
+	for _, a := range assignments {
+		levelSum[a.Node.Depth] += a.Prob
+	}
+	for depth, sum := range levelSum {
+		if sum > 1.0001 {
+			t.Errorf("depth %d probability sum %v > 1", depth, sum)
+		}
+	}
+}
+
+func TestLeavesAndTopTerms(t *testing.T) {
+	vs, _ := threeBlobVectors(40, 9)
+	root, _ := BuildHierarchy(vs, HierarchyConfig{Branch: 2, MaxDepth: 2, MinLeaf: 5, Seed: 4})
+	leaves := Leaves(root)
+	if len(leaves) == 0 {
+		t.Fatal("no leaves")
+	}
+	total := 0
+	for _, l := range leaves {
+		total += len(l.Members)
+	}
+	if total != 120 {
+		t.Errorf("leaves cover %d of 120", total)
+	}
+	terms := root.TopTerms(3)
+	if len(terms) != 3 {
+		t.Errorf("top terms: %v", terms)
+	}
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mlcore"
+)
+
+// TopicNode is one node of the hierarchical topic tree. The root represents
+// "all news"; children refine their parent (e.g. Health → COVID-19), which
+// mirrors the generic-to-specific topic hierarchy in paper §3.3.
+type TopicNode struct {
+	// ID is a stable path-style identifier, e.g. "root/1/0".
+	ID string
+	// Centroid is the node's L2-normalised centre in TF-IDF space.
+	Centroid mlcore.SparseVector
+	// Members are indices (into the training corpus) of articles under
+	// this node.
+	Members []int
+	// Children are the refined sub-topics; empty for leaves.
+	Children []*TopicNode
+	// Depth is 0 for the root.
+	Depth int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *TopicNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// HierarchyConfig configures BuildHierarchy.
+type HierarchyConfig struct {
+	// Branch is the number of children per split (default 2: bisecting).
+	Branch int
+	// MaxDepth limits the tree depth (default 3).
+	MaxDepth int
+	// MinLeaf stops splitting nodes with fewer members (default 8).
+	MinLeaf int
+	// Seed seeds the k-means runs.
+	Seed int64
+}
+
+func (c *HierarchyConfig) setDefaults() {
+	if c.Branch < 2 {
+		c.Branch = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 8
+	}
+}
+
+// BuildHierarchy builds a topic tree over the corpus by recursive
+// (divisive) spherical k-means: each node with enough members is split into
+// Branch children until MaxDepth.
+func BuildHierarchy(vectors []mlcore.SparseVector, cfg HierarchyConfig) (*TopicNode, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoVectors
+	}
+	cfg.setDefaults()
+	all := make([]int, len(vectors))
+	for i := range all {
+		all[i] = i
+	}
+	root := &TopicNode{ID: "root", Members: all, Centroid: meanDirection(vectors, all)}
+	splitNode(root, vectors, cfg)
+	return root, nil
+}
+
+func splitNode(node *TopicNode, vectors []mlcore.SparseVector, cfg HierarchyConfig) {
+	if node.Depth >= cfg.MaxDepth || len(node.Members) < cfg.MinLeaf*cfg.Branch {
+		return
+	}
+	sub := make([]mlcore.SparseVector, len(node.Members))
+	for i, m := range node.Members {
+		sub[i] = vectors[m]
+	}
+	k := cfg.Branch
+	if k > len(sub) {
+		k = len(sub)
+	}
+	res, err := KMeans(sub, k, 30, cfg.Seed+int64(len(node.ID)))
+	if err != nil {
+		return
+	}
+	groups := make([][]int, k)
+	for i, c := range res.Assignments {
+		groups[c] = append(groups[c], node.Members[i])
+	}
+	for c, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		child := &TopicNode{
+			ID:       fmt.Sprintf("%s/%d", node.ID, c),
+			Centroid: res.Centroids[c],
+			Members:  members,
+			Depth:    node.Depth + 1,
+		}
+		node.Children = append(node.Children, child)
+	}
+	// Degenerate split (everything in one child): stop refining.
+	if len(node.Children) < 2 {
+		node.Children = nil
+		return
+	}
+	for _, child := range node.Children {
+		splitNode(child, vectors, cfg)
+	}
+}
+
+// meanDirection returns the normalised mean of the selected vectors.
+func meanDirection(vectors []mlcore.SparseVector, idx []int) mlcore.SparseVector {
+	sum := make(mlcore.SparseVector)
+	for _, i := range idx {
+		sum.Add(vectors[i], 1)
+	}
+	return sum.L2Normalize()
+}
+
+// TopicAssignment is one topic with its probability for an article.
+type TopicAssignment struct {
+	// Node is the assigned topic node.
+	Node *TopicNode
+	// Prob is the soft-assignment probability along the root-to-node path.
+	Prob float64
+}
+
+// Assign descends the tree from the root, at each level distributing
+// probability over children by a softmax of cosine similarities
+// (temperature tau; tau <= 0 defaults to 0.1). It returns every node whose
+// cumulative probability is at least minProb, ordered root-first; the root
+// itself is excluded. This yields the paper's "one or more topics per
+// article" semantics.
+func Assign(root *TopicNode, v mlcore.SparseVector, tau, minProb float64) []TopicAssignment {
+	if tau <= 0 {
+		tau = 0.1
+	}
+	var out []TopicAssignment
+	var walk func(node *TopicNode, prob float64)
+	walk = func(node *TopicNode, prob float64) {
+		if node.IsLeaf() {
+			return
+		}
+		sims := make([]float64, len(node.Children))
+		maxSim := math.Inf(-1)
+		for i, ch := range node.Children {
+			sims[i] = mlcore.Cosine(v, ch.Centroid) / tau
+			if sims[i] > maxSim {
+				maxSim = sims[i]
+			}
+		}
+		var z float64
+		for i := range sims {
+			sims[i] = math.Exp(sims[i] - maxSim)
+			z += sims[i]
+		}
+		for i, ch := range node.Children {
+			p := prob * sims[i] / z
+			if p >= minProb {
+				out = append(out, TopicAssignment{Node: ch, Prob: p})
+				walk(ch, p)
+			}
+		}
+	}
+	walk(root, 1)
+	return out
+}
+
+// Leaves returns the leaf nodes of the tree in depth-first order.
+func Leaves(root *TopicNode) []*TopicNode {
+	var out []*TopicNode
+	var walk func(n *TopicNode)
+	walk = func(n *TopicNode) {
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// NodeCount returns the total number of nodes including the root.
+func NodeCount(root *TopicNode) int {
+	count := 1
+	for _, c := range root.Children {
+		count += NodeCount(c)
+	}
+	return count
+}
+
+// TopTerms returns the indices of the n strongest centroid terms of a node
+// (use a Vocabulary to map back to strings).
+func (n *TopicNode) TopTerms(count int) []int { return n.Centroid.TopK(count) }

@@ -1,0 +1,148 @@
+// Package cluster implements the clustering algorithms behind the SciLens
+// content-based segmentation: spherical k-means++ over sparse TF-IDF
+// vectors and a probabilistic hierarchical topic clustering that assigns
+// each article one or more topics with soft probabilities (paper §3.3).
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/mlcore"
+)
+
+// ErrNoVectors is returned when the input corpus is empty.
+var ErrNoVectors = errors.New("cluster: no input vectors")
+
+// ErrBadK is returned when k is not in [1, len(vectors)].
+var ErrBadK = errors.New("cluster: k out of range")
+
+// KMeansResult holds the output of KMeans.
+type KMeansResult struct {
+	// Assignments maps each input index to its cluster id.
+	Assignments []int
+	// Centroids are the final cluster centroids (sparse, L2-normalised).
+	Centroids []mlcore.SparseVector
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Inertia is the final sum of (1 - cosine) distances to assigned
+	// centroids.
+	Inertia float64
+}
+
+// KMeans runs spherical k-means (cosine distance) with k-means++ seeding.
+// maxIter <= 0 defaults to 50. The algorithm is deterministic for a given
+// seed.
+func KMeans(vectors []mlcore.SparseVector, k, maxIter int, seed int64) (*KMeansResult, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, ErrNoVectors
+	}
+	if k < 1 || k > n {
+		return nil, ErrBadK
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(vectors, k, rng)
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	result := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		inertia := 0.0
+		for i, v := range vectors {
+			best, bestDist := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d := 1 - mlcore.Cosine(v, cent)
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			inertia += bestDist
+		}
+		result.Iterations = iter + 1
+		result.Inertia = inertia
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as normalised mean direction.
+		sums := make([]mlcore.SparseVector, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(mlcore.SparseVector)
+		}
+		for i, v := range vectors {
+			sums[assign[i]].Add(v, 1)
+			counts[assign[i]]++
+		}
+		for c := range sums {
+			if counts[c] == 0 {
+				// Re-seed empty cluster with the farthest point.
+				far, farDist := 0, -1.0
+				for i, v := range vectors {
+					d := 1 - mlcore.Cosine(v, centroids[assign[i]])
+					if d > farDist {
+						far, farDist = i, d
+					}
+				}
+				sums[c] = vectors[far].Clone()
+			}
+			sums[c].L2Normalize()
+		}
+		centroids = sums
+	}
+	result.Assignments = assign
+	result.Centroids = centroids
+	return result, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy
+// adapted to cosine distance.
+func seedPlusPlus(vectors []mlcore.SparseVector, k int, rng *rand.Rand) []mlcore.SparseVector {
+	n := len(vectors)
+	centroids := make([]mlcore.SparseVector, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, vectors[first].Clone())
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				cd := 1 - mlcore.Cosine(v, c)
+				if cd < d {
+					d = cd
+				}
+			}
+			dist[i] = d * d
+			total += dist[i]
+		}
+		if total == 0 {
+			// All points identical to some centroid: duplicate any point.
+			centroids = append(centroids, vectors[rng.Intn(n)].Clone())
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dist {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, vectors[pick].Clone())
+	}
+	return centroids
+}

@@ -1,0 +1,515 @@
+// Package core assembles the SciLens News Platform (paper Figure 2): the
+// streaming pipeline feeds the ingestion path, which extracts articles,
+// computes indicators and stores everything in the RDBMS; a daily
+// migration job snapshots the hot store into the Distributed Storage;
+// periodic jobs train the ML models over the warehouse history on the
+// parallel compute layer; and the assessment path serves single-article
+// reports in real time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/indicators"
+	"repro/internal/outlets"
+	"repro/internal/rdbms"
+	"repro/internal/reviews"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// Topic and table names used by the platform.
+const (
+	// PostingsTopic is the broker topic the firehose publishes to.
+	PostingsTopic = "postings"
+	// ArticlesTable holds one row per ingested article.
+	ArticlesTable = "articles"
+	// SocialTable holds per-article social aggregates.
+	SocialTable = "article_social"
+	// RepliesTable holds reply texts for stance-model training.
+	RepliesTable = "replies"
+)
+
+// ErrNotIngested is returned when an article URL is unknown to the store.
+var ErrNotIngested = errors.New("core: article not ingested")
+
+// Platform is the assembled system.
+type Platform struct {
+	// Broker is the streaming entry point.
+	Broker *stream.Broker
+	// DB is the real-time store.
+	DB *rdbms.DB
+	// Warehouse is the distributed storage.
+	Warehouse *dfs.Cluster
+	// Registry is the outlet registry.
+	Registry *outlets.Registry
+	// Engine is the indicator engine.
+	Engine *indicators.Engine
+	// Reviews is the expert-review store.
+	Reviews *reviews.Store
+	// Clock is the injectable time source.
+	Clock func() time.Time
+
+	// TopicName is the supervised topic the demo segments on.
+	TopicName string
+
+	statsMu sync.Mutex
+	stats   IngestStats
+}
+
+// IngestStats counts ingestion outcomes.
+type IngestStats struct {
+	// Postings and Reactions count processed events by type.
+	Postings, Reactions int
+	// ParseFailures counts postings whose article failed to extract.
+	ParseFailures int
+	// OrphanReactions counts reactions whose article was never seen.
+	OrphanReactions int
+}
+
+// Config configures NewPlatform.
+type Config struct {
+	// Registry is the outlet registry (default outlets.DemoShortlist()).
+	Registry *outlets.Registry
+	// Partitions is the broker partition count (default 4).
+	Partitions int
+	// QueueCapacity is the per-partition retention bound (default 8192).
+	QueueCapacity int
+	// WarehouseNodes is the DFS datanode count (default 4).
+	WarehouseNodes int
+	// Clock is the time source (default time.Now).
+	Clock func() time.Time
+	// TopicName is the analysed topic (default "health/covid-19").
+	TopicName string
+}
+
+// NewPlatform builds the platform: broker topic, store schemas, warehouse
+// cluster and indicator engine.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = outlets.DemoShortlist()
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 8192
+	}
+	if cfg.WarehouseNodes <= 0 {
+		cfg.WarehouseNodes = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.TopicName == "" {
+		cfg.TopicName = "health/covid-19"
+	}
+
+	p := &Platform{
+		Broker:    stream.NewBrokerWithClock(cfg.Clock),
+		DB:        rdbms.NewDB(),
+		Registry:  cfg.Registry,
+		Engine:    indicators.NewEngine(indicators.Config{Registry: cfg.Registry}),
+		Reviews:   reviews.NewStore(),
+		Clock:     cfg.Clock,
+		TopicName: cfg.TopicName,
+	}
+	var err error
+	p.Warehouse, err = dfs.NewCluster(dfs.Config{DataNodes: cfg.WarehouseNodes, BlockSize: 1 << 18, Replication: 3})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Broker.CreateTopic(PostingsTopic, stream.TopicConfig{
+		Partitions: cfg.Partitions, Capacity: cfg.QueueCapacity,
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.createSchemas(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// createSchemas declares the hot-store tables and indexes.
+func (p *Platform) createSchemas() error {
+	articleSchema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TString},
+		{Name: "outlet_id", Type: rdbms.TString, NotNull: true},
+		{Name: "rating", Type: rdbms.TInt, NotNull: true},
+		{Name: "url", Type: rdbms.TString, NotNull: true},
+		{Name: "title", Type: rdbms.TString},
+		{Name: "published", Type: rdbms.TTime, NotNull: true},
+		{Name: "clickbait", Type: rdbms.TFloat},
+		{Name: "subjectivity", Type: rdbms.TFloat},
+		{Name: "reading_grade", Type: rdbms.TFloat},
+		{Name: "has_byline", Type: rdbms.TBool},
+		{Name: "internal_refs", Type: rdbms.TInt},
+		{Name: "external_refs", Type: rdbms.TInt},
+		{Name: "sci_refs", Type: rdbms.TInt},
+		{Name: "sci_ratio", Type: rdbms.TFloat},
+		{Name: "has_refs", Type: rdbms.TBool},
+		{Name: "is_topic", Type: rdbms.TBool},
+		{Name: "composite", Type: rdbms.TFloat},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	articlesTable, err := p.DB.CreateTable(ArticlesTable, articleSchema)
+	if err != nil {
+		return err
+	}
+	if err := articlesTable.CreateIndex("url", rdbms.HashIndex); err != nil {
+		return err
+	}
+	if err := articlesTable.CreateIndex("outlet_id", rdbms.HashIndex); err != nil {
+		return err
+	}
+	if err := articlesTable.CreateIndex("published", rdbms.OrderedIndex); err != nil {
+		return err
+	}
+
+	socialSchema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "article_id", Type: rdbms.TString},
+		{Name: "reactions", Type: rdbms.TInt},
+		{Name: "replies", Type: rdbms.TInt},
+		{Name: "reshares", Type: rdbms.TInt},
+		{Name: "likes", Type: rdbms.TInt},
+		{Name: "support", Type: rdbms.TInt},
+		{Name: "deny", Type: rdbms.TInt},
+		{Name: "comment", Type: rdbms.TInt},
+	}, "article_id")
+	if err != nil {
+		return err
+	}
+	if _, err := p.DB.CreateTable(SocialTable, socialSchema); err != nil {
+		return err
+	}
+
+	replySchema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TString},
+		{Name: "article_id", Type: rdbms.TString, NotNull: true},
+		{Name: "text", Type: rdbms.TString},
+		{Name: "stance", Type: rdbms.TString},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	repliesTable, err := p.DB.CreateTable(RepliesTable, replySchema)
+	if err != nil {
+		return err
+	}
+	return repliesTable.CreateIndex("article_id", rdbms.HashIndex)
+}
+
+// Stats returns a copy of the ingestion counters.
+func (p *Platform) Stats() IngestStats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// bumpStat applies fn to the counters under the stats lock.
+func (p *Platform) bumpStat(fn func(*IngestStats)) {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	fn(&p.stats)
+}
+
+// PublishEvent puts one firehose event on the queue. Events of one article
+// share the article URL as routing key, so a cascade stays ordered within
+// its partition and the posting always precedes its reactions.
+func (p *Platform) PublishEvent(ev *synth.Event) error {
+	payload, err := ev.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = p.Broker.Publish(PostingsTopic, ev.ArticleURL, payload)
+	return err
+}
+
+// FeedWorld publishes a whole synthetic world to the queue in time order.
+// It returns the number of published events.
+func (p *Platform) FeedWorld(w *synth.World) (int, error) {
+	events := w.Events()
+	for i := range events {
+		if err := p.PublishEvent(&events[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}
+
+// IngestWorld feeds a synthetic world and consumes it concurrently with
+// `members` sharded consumers, mirroring the production overlap between the
+// firehose producer and the ingestion group. Unlike FeedWorld followed by
+// RunIngest, it does not require the queue to retain the whole world:
+// producers block on full partitions until the consumers free capacity.
+// Consumers keep polling until the producer has finished AND their
+// partitions are drained — an idle-timeout heuristic alone would let a
+// consumer exit while the producer is stalled on a different partition,
+// deadlocking the feed. It returns the number of processed events.
+func (p *Platform) IngestWorld(w *synth.World, members int) (int, error) {
+	producerDone := make(chan struct{})
+	feedErr := make(chan error, 1)
+	go func() {
+		_, err := p.FeedWorld(w)
+		feedErr <- err
+		close(producerDone)
+	}()
+	stop := func() bool {
+		select {
+		case <-producerDone:
+			return true
+		default:
+			return false
+		}
+	}
+	n, err := p.runIngestUntil(members, 20*time.Millisecond, stop)
+	if ferr := <-feedErr; ferr != nil && err == nil {
+		err = ferr
+	}
+	return n, err
+}
+
+// IngestEvent processes one decoded firehose event synchronously.
+func (p *Platform) IngestEvent(ev *synth.Event) error {
+	if ev.Type == synth.EventTypePosting {
+		return p.ingestPosting(ev)
+	}
+	return p.ingestReaction(ev)
+}
+
+// ingestPosting extracts and evaluates the article, then stores it.
+func (p *Platform) ingestPosting(ev *synth.Event) error {
+	report, err := p.Engine.Evaluate(ev.ArticleHTML, ev.ArticleURL, nil)
+	if err != nil {
+		p.bumpStat(func(s *IngestStats) { s.ParseFailures++ })
+		return fmt.Errorf("posting %s: %w", ev.PostID, err)
+	}
+	outlet, err := p.Registry.ByID(ev.OutletID)
+	if err != nil {
+		// Fall back to domain resolution for outlets not carried in the
+		// envelope.
+		outlet, err = p.Registry.ByDomain(hostOf(ev.ArticleURL))
+		if err != nil {
+			return fmt.Errorf("posting %s outlet: %w", ev.PostID, err)
+		}
+	}
+	id := ev.ArticleID
+	if id == "" {
+		id = ev.PostID
+	}
+	isTopic := false
+	for _, a := range report.Topics {
+		if a.Topic == p.TopicName {
+			isTopic = true
+			break
+		}
+	}
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return err
+	}
+	row := rdbms.Row{
+		rdbms.String(id),
+		rdbms.String(outlet.ID),
+		rdbms.Int(int64(outlet.Rating)),
+		rdbms.String(ev.ArticleURL),
+		rdbms.String(report.Article.Title),
+		rdbms.Time(ev.Time),
+		rdbms.Float(report.Content.Clickbait),
+		rdbms.Float(report.Content.Subjectivity),
+		rdbms.Float(report.Content.ReadingGrade),
+		rdbms.Bool(report.Content.HasByline),
+		rdbms.Int(int64(report.Context.InternalCount)),
+		rdbms.Int(int64(report.Context.ExternalCount)),
+		rdbms.Int(int64(report.Context.ScientificCount)),
+		rdbms.Float(report.Context.ScientificRatio),
+		rdbms.Bool(len(report.Context.References) > 0),
+		rdbms.Bool(isTopic),
+		rdbms.Float(report.Composite),
+	}
+	if err := articlesTable.Upsert(row); err != nil {
+		return err
+	}
+	socialTable, err := p.DB.Table(SocialTable)
+	if err != nil {
+		return err
+	}
+	if err := socialTable.Upsert(rdbms.Row{
+		rdbms.String(id), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
+		rdbms.Int(0), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
+	}); err != nil {
+		return err
+	}
+	p.bumpStat(func(s *IngestStats) { s.Postings++ })
+	return nil
+}
+
+// ingestReaction resolves the article by URL and updates the aggregates.
+func (p *Platform) ingestReaction(ev *synth.Event) error {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return err
+	}
+	rows, err := articlesTable.LookupEq("url", rdbms.String(ev.ArticleURL))
+	if err != nil || len(rows) == 0 {
+		p.bumpStat(func(s *IngestStats) { s.OrphanReactions++ })
+		return fmt.Errorf("reaction %s: %w", ev.PostID, ErrNotIngested)
+	}
+	articleID := rows[0][0].Str()
+
+	socialTable, err := p.DB.Table(SocialTable)
+	if err != nil {
+		return err
+	}
+	agg, err := socialTable.Get(rdbms.String(articleID))
+	if err != nil {
+		return err
+	}
+	bump := func(i int) { agg[i] = rdbms.Int(agg[i].Int() + 1) }
+	bump(1) // reactions
+	switch ev.Kind {
+	case "reply":
+		bump(2)
+		stance := p.Engine.Stance().Classify(ev.Text)
+		switch stance.String() {
+		case "support":
+			bump(5)
+		case "deny":
+			bump(6)
+		default:
+			bump(7)
+		}
+		repliesTable, err := p.DB.Table(RepliesTable)
+		if err != nil {
+			return err
+		}
+		if err := repliesTable.Upsert(rdbms.Row{
+			rdbms.String(ev.PostID), rdbms.String(articleID),
+			rdbms.String(ev.Text), rdbms.String(stance.String()),
+		}); err != nil {
+			return err
+		}
+	case "reshare":
+		bump(3)
+	case "like":
+		bump(4)
+	}
+	if err := socialTable.Update(rdbms.String(articleID), agg); err != nil {
+		return err
+	}
+	p.bumpStat(func(s *IngestStats) { s.Reactions++ })
+	return nil
+}
+
+// RunIngest consumes the postings topic with `members` sharded consumers
+// until the queue stays empty for idle. Each consumer processes its
+// partitions in order (cascade ordering), so parallelism comes from the
+// shard split. It returns the number of processed events.
+func (p *Platform) RunIngest(members int, idle time.Duration) (int, error) {
+	return p.runIngestUntil(members, idle, func() bool { return true })
+}
+
+// runIngestUntil is the shared consumer-group loop: a consumer exits only
+// when its partitions stay empty for idle AND stop() reports that no more
+// input is coming. RunIngest stops on the first idle window; IngestWorld
+// keeps consumers alive while the producer is still publishing.
+func (p *Platform) runIngestUntil(members int, idle time.Duration, stop func() bool) (int, error) {
+	if members <= 0 {
+		members = 1
+	}
+	if idle <= 0 {
+		idle = 50 * time.Millisecond
+	}
+	type result struct {
+		n   int
+		err error
+	}
+	results := make(chan result, members)
+	for m := 0; m < members; m++ {
+		go func(m int) {
+			consumer, err := p.Broker.SubscribeShard(PostingsTopic, "ingest", m, members)
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			defer consumer.Close()
+			processed := 0
+			for {
+				msgs, err := consumer.PollWait(256, idle)
+				if err != nil {
+					results <- result{processed, err}
+					return
+				}
+				if len(msgs) == 0 {
+					if !stop() {
+						continue // producer still active: keep polling
+					}
+					// Final check: a message may have landed between the
+					// empty poll and the stop signal.
+					if msgs, err = consumer.Poll(256); err != nil || len(msgs) == 0 {
+						if cerr := consumer.Commit(); err == nil {
+							err = cerr
+						}
+						results <- result{processed, err}
+						return
+					}
+				}
+				for _, msg := range msgs {
+					ev, err := synth.DecodeEvent(msg.Payload)
+					if err != nil {
+						continue // malformed message: skip, keep consuming
+					}
+					// Ingestion errors for single events (orphans, parse
+					// failures) are counted in stats, not fatal.
+					_ = p.IngestEvent(&ev)
+					processed++
+				}
+				if err := consumer.Commit(); err != nil {
+					results <- result{processed, err}
+					return
+				}
+			}
+		}(m)
+	}
+	total := 0
+	var firstErr error
+	for m := 0; m < members; m++ {
+		r := <-results
+		total += r.n
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return total, firstErr
+}
+
+func hostOf(rawURL string) string {
+	// Tiny inline host extraction to avoid importing extract for one call.
+	const scheme = "://"
+	i := indexOfSub(rawURL, scheme)
+	if i < 0 {
+		return ""
+	}
+	rest := rawURL[i+len(scheme):]
+	for j := 0; j < len(rest); j++ {
+		if rest[j] == '/' || rest[j] == '?' || rest[j] == '#' {
+			return rest[:j]
+		}
+	}
+	return rest
+}
+
+func indexOfSub(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compute"
+)
+
+// DailyReport summarises one RunDaily cycle.
+type DailyReport struct {
+	// Date is the snapshot date.
+	Date time.Time
+	// MigratedRows is the row count of the daily snapshot.
+	MigratedRows int
+	// Clickbait, Stance and Topics are the training reports (nil for a
+	// stage that was skipped because its input was empty).
+	Clickbait, Stance *TrainReport
+	// Topics is the topic-discovery report (nil when skipped).
+	Topics *TopicModelReport
+}
+
+// RunDaily executes the platform's daily maintenance cycle (paper §3.3):
+// the RDBMS → Distributed Storage migration, then the periodic model
+// training jobs over the warehoused history on the compute pool. Training
+// stages whose input is empty (no replies yet, say) are skipped rather
+// than failing the cycle; the returned report records what ran.
+func (p *Platform) RunDaily(pool *compute.Pool, date time.Time) (*DailyReport, error) {
+	rep := &DailyReport{Date: date}
+
+	migrated, err := p.RunDailyMigration(date)
+	if err != nil {
+		return nil, fmt.Errorf("daily migration: %w", err)
+	}
+	rep.MigratedRows = migrated
+
+	rep.Clickbait, err = p.TrainClickbaitModel(pool, date.Unix())
+	if err != nil && !errors.Is(err, ErrNotIngested) {
+		return rep, fmt.Errorf("clickbait training: %w", err)
+	}
+	rep.Stance, err = p.TrainStanceModel(pool)
+	if err != nil && !errors.Is(err, ErrNotIngested) {
+		return rep, fmt.Errorf("stance training: %w", err)
+	}
+	rep.Topics, err = p.TrainTopicModel(pool, date, cluster.HierarchyConfig{
+		Branch: 2, MaxDepth: 3, MinLeaf: 16, Seed: date.Unix(),
+	})
+	if err != nil && !errors.Is(err, ErrNotIngested) {
+		return rep, fmt.Errorf("topic training: %w", err)
+	}
+	return rep, nil
+}

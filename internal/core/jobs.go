@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/classify"
+	"repro/internal/compute"
+	"repro/internal/contentind"
+	"repro/internal/migrate"
+	"repro/internal/outlets"
+	"repro/internal/rdbms"
+	"repro/internal/socialind"
+)
+
+// MigrationTables are the tables the daily migration snapshots.
+var MigrationTables = []string{ArticlesTable, SocialTable, RepliesTable}
+
+// RunDailyMigration exports the hot store into the warehouse for the given
+// snapshot date. It returns the migrated row count.
+func (p *Platform) RunDailyMigration(date time.Time) (int, error) {
+	job := &migrate.Job{DB: p.DB, Cluster: p.Warehouse, Tables: MigrationTables}
+	return job.Run(date)
+}
+
+// ArticleRowFacts converts one articles-table row plus its social
+// aggregate into an analytics fact.
+func factFromRows(article, social rdbms.Row) analytics.ArticleFact {
+	f := analytics.ArticleFact{
+		ArticleID: article[0].Str(),
+		OutletID:  article[1].Str(),
+		Rating:    outlets.RatingClass(article[2].Int()),
+		Published: article[5].Time(),
+		SciRatio:  article[13].Float(),
+		HasRefs:   article[14].Bool(),
+		IsTopic:   article[15].Bool(),
+		Composite: article[16].Float(),
+	}
+	if social != nil {
+		f.Reactions = int(social[1].Int())
+	}
+	return f
+}
+
+// BuildFacts derives the analytics facts for every stored article. Facts
+// are ordered by article ID: the heap order depends on which ingestion
+// consumer won each insert race, and order-sensitive consumers (the
+// consensus experiment's per-article noise draws) must see a reproducible
+// sequence.
+func (p *Platform) BuildFacts() ([]analytics.ArticleFact, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	socialTable, err := p.DB.Table(SocialTable)
+	if err != nil {
+		return nil, err
+	}
+	var facts []analytics.ArticleFact
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		social, err := socialTable.Get(r[0])
+		if err != nil {
+			social = nil
+		}
+		facts = append(facts, factFromRows(r, social))
+		return true
+	})
+	sortFacts(facts)
+	return facts, nil
+}
+
+// sortFacts orders facts by article ID for run-to-run determinism.
+func sortFacts(facts []analytics.ArticleFact) {
+	sort.Slice(facts, func(i, j int) bool { return facts[i].ArticleID < facts[j].ArticleID })
+}
+
+// BuildFactsBetween derives the analytics facts for articles published in
+// [from, to), served by a range scan over the ordered `published` index
+// rather than a full heap scan — the real-time path for window-scoped
+// analytics.
+func (p *Platform) BuildFactsBetween(from, to time.Time) ([]analytics.ArticleFact, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	socialTable, err := p.DB.Table(SocialTable)
+	if err != nil {
+		return nil, err
+	}
+	lo := rdbms.Time(from)
+	hi := rdbms.Time(to.Add(-time.Nanosecond)) // Range bounds are inclusive
+	var facts []analytics.ArticleFact
+	err = articlesTable.Range("published", &lo, &hi, func(r rdbms.Row) bool {
+		social, err := socialTable.Get(r[0])
+		if err != nil {
+			social = nil
+		}
+		facts = append(facts, factFromRows(r, social))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortFacts(facts)
+	return facts, nil
+}
+
+// Figure4 computes the newsroom-activity series (paper Figure 4) over the
+// window [start, start+days), smoothed with a 7-day moving average like
+// the published curves. Facts come from a range scan over the published
+// index (see BuildFactsBetween).
+func (p *Platform) Figure4(start time.Time, days int) (*analytics.ActivitySeries, error) {
+	facts, err := p.BuildFactsBetween(start, start.AddDate(0, 0, days))
+	if err != nil {
+		return nil, err
+	}
+	s, err := analytics.NewsroomActivity(facts, start, days)
+	if err != nil {
+		return nil, err
+	}
+	return s.Smooth(7), nil
+}
+
+// Figure4Parallel is Figure4 run as a partition-parallel job on the
+// compute layer — the daily analytics shape of §3.3. Results are
+// identical to Figure4.
+func (p *Platform) Figure4Parallel(pool *compute.Pool, start time.Time, days int) (*analytics.ActivitySeries, error) {
+	facts, err := p.BuildFactsBetween(start, start.AddDate(0, 0, days))
+	if err != nil {
+		return nil, err
+	}
+	s, err := analytics.NewsroomActivityParallel(pool, facts, start, days)
+	if err != nil {
+		return nil, err
+	}
+	return s.Smooth(7), nil
+}
+
+// Figure5Engagement computes the social-reactions KDEs (Figure 5 left).
+func (p *Platform) Figure5Engagement(gridPoints int) ([]analytics.ClassDensity, error) {
+	facts, err := p.BuildFacts()
+	if err != nil {
+		return nil, err
+	}
+	return analytics.EngagementKDE(facts, gridPoints)
+}
+
+// Figure5Evidence computes the scientific-reference-ratio KDEs (Figure 5
+// right).
+func (p *Platform) Figure5Evidence(gridPoints int) ([]analytics.ClassDensity, error) {
+	facts, err := p.BuildFacts()
+	if err != nil {
+		return nil, err
+	}
+	return analytics.EvidenceKDE(facts, gridPoints)
+}
+
+// RunConsensusExperiment runs the indicator-assisted consensus experiment
+// (claim C2) over the stored articles.
+func (p *Platform) RunConsensusExperiment(cfg analytics.ConsensusConfig) (analytics.ConsensusResult, error) {
+	facts, err := p.BuildFacts()
+	if err != nil {
+		return analytics.ConsensusResult{}, err
+	}
+	return analytics.ConsensusExperiment(facts, cfg)
+}
+
+// TrainReport summarises a periodic model-training run.
+type TrainReport struct {
+	// Examples is the number of training examples used.
+	Examples int
+	// PositiveShare is the share of positive labels.
+	PositiveShare float64
+	// TrainAccuracy is the accuracy on the training set (sanity signal;
+	// weak labels have no held-out gold).
+	TrainAccuracy float64
+}
+
+// TrainClickbaitModel trains the clickbait classifier over the full stored
+// article history using distant supervision: titles whose lexicon score is
+// extreme (>= 0.6 or <= 0.15) become weak labels. Feature extraction runs
+// partition-parallel on the compute pool (the paper's Spark role). The
+// trained model is attached to the engine.
+func (p *Platform) TrainClickbaitModel(pool *compute.Pool, seed int64) (*TrainReport, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	var titles []string
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		titles = append(titles, r[4].Str())
+		return true
+	})
+	if len(titles) == 0 {
+		return nil, fmt.Errorf("train clickbait: %w", ErrNotIngested)
+	}
+	features := p.Engine.ClickbaitFeatures()
+	ds := compute.FromSlice(titles, pool.Workers())
+	labelled, err := compute.Map(pool, ds, func(title string) (classify.Example, error) {
+		score := contentind.LexiconClickbaitScore(title)
+		ex := classify.Example{X: features.Extract(title)}
+		switch {
+		case score >= 0.6:
+			ex.Y = true
+		case score <= 0.15:
+			ex.Y = false
+		default:
+			ex.X = nil // ambiguous: dropped below
+		}
+		return ex, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var data []classify.Example
+	positives := 0
+	for _, ex := range labelled.Collect() {
+		if ex.X == nil {
+			continue
+		}
+		data = append(data, ex)
+		if ex.Y {
+			positives++
+		}
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("train clickbait: no confident weak labels: %w", ErrNotIngested)
+	}
+	model, err := classify.TrainLogReg(data, classify.LogRegConfig{Dim: features.Dim(), Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	correct := 0
+	for _, ex := range data {
+		if model.Predict(ex.X) == ex.Y {
+			correct++
+		}
+	}
+	p.Engine.SetClickbaitModel(model)
+	return &TrainReport{
+		Examples:      len(data),
+		PositiveShare: float64(positives) / float64(len(data)),
+		TrainAccuracy: float64(correct) / float64(len(data)),
+	}, nil
+}
+
+// TrainStanceModel trains the stance naive Bayes over the stored reply
+// history, weak-labelled by the lexicon classifier at ingestion time, and
+// attaches it to the engine.
+func (p *Platform) TrainStanceModel(pool *compute.Pool) (*TrainReport, error) {
+	repliesTable, err := p.DB.Table(RepliesTable)
+	if err != nil {
+		return nil, err
+	}
+	type reply struct{ text, stance string }
+	var all []reply
+	repliesTable.Scan(func(r rdbms.Row) bool {
+		all = append(all, reply{text: r[2].Str(), stance: r[3].Str()})
+		return true
+	})
+	if len(all) == 0 {
+		return nil, fmt.Errorf("train stance: %w", ErrNotIngested)
+	}
+	// Tokenise partition-parallel, then feed the (inherently sequential)
+	// NB accumulator.
+	ds := compute.FromSlice(all, pool.Workers())
+	tokenised, err := compute.Map(pool, ds, func(r reply) (struct {
+		tokens []string
+		class  string
+	}, error) {
+		return struct {
+			tokens []string
+			class  string
+		}{socialind.Tokens(r.text), r.stance}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nb := classify.NewNaiveBayes(0.5)
+	positives := 0
+	rows := tokenised.Collect()
+	for _, r := range rows {
+		nb.Observe(r.tokens, r.class)
+		if r.class == "support" {
+			positives++
+		}
+	}
+	correct := 0
+	for _, r := range rows {
+		if class, _ := nb.Predict(r.tokens); class == r.class {
+			correct++
+		}
+	}
+	p.Engine.SetStanceModel(nb)
+	return &TrainReport{
+		Examples:      len(rows),
+		PositiveShare: float64(positives) / float64(len(rows)),
+		TrainAccuracy: float64(correct) / float64(len(rows)),
+	}, nil
+}
+
+// Assessment is the single-article view (paper Figure 3): stored
+// indicators plus the expert-review aggregate.
+type Assessment struct {
+	// ArticleID, OutletID, URL and Title identify the article.
+	ArticleID, OutletID, URL, Title string
+	// Rating is the outlet's external rating class.
+	Rating outlets.RatingClass
+	// Published is the publication time.
+	Published time.Time
+	// Clickbait, Subjectivity, ReadingGrade, Composite are the content
+	// scores.
+	Clickbait, Subjectivity, ReadingGrade, Composite float64
+	// HasByline reports author attribution.
+	HasByline bool
+	// InternalRefs, ExternalRefs, SciRefs count classified references.
+	InternalRefs, ExternalRefs, SciRefs int
+	// SciRatio is the scientific-reference ratio.
+	SciRatio float64
+	// Reactions, Replies, Reshares, Likes are the social aggregates.
+	Reactions, Replies, Reshares, Likes int
+	// Support, Deny, Comment are the reply stance counts.
+	Support, Deny, Comment int
+	// ExpertOverall is the time-weighted expert score (0 when
+	// unreviewed); ExpertCount the number of reviews.
+	ExpertOverall float64
+	ExpertCount   int
+}
+
+// AssessURL returns the assessment for an ingested article URL.
+func (p *Platform) AssessURL(url string) (*Assessment, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := articlesTable.LookupEq("url", rdbms.String(url))
+	if err != nil || len(rows) == 0 {
+		return nil, fmt.Errorf("url %q: %w", url, ErrNotIngested)
+	}
+	return p.assessmentFromRow(rows[0])
+}
+
+// AssessID returns the assessment for an ingested article ID.
+func (p *Platform) AssessID(id string) (*Assessment, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	row, err := articlesTable.Get(rdbms.String(id))
+	if err != nil {
+		return nil, fmt.Errorf("article %q: %w", id, ErrNotIngested)
+	}
+	return p.assessmentFromRow(row)
+}
+
+func (p *Platform) assessmentFromRow(r rdbms.Row) (*Assessment, error) {
+	a := &Assessment{
+		ArticleID:    r[0].Str(),
+		OutletID:     r[1].Str(),
+		Rating:       outlets.RatingClass(r[2].Int()),
+		URL:          r[3].Str(),
+		Title:        r[4].Str(),
+		Published:    r[5].Time(),
+		Clickbait:    r[6].Float(),
+		Subjectivity: r[7].Float(),
+		ReadingGrade: r[8].Float(),
+		HasByline:    r[9].Bool(),
+		InternalRefs: int(r[10].Int()),
+		ExternalRefs: int(r[11].Int()),
+		SciRefs:      int(r[12].Int()),
+		SciRatio:     r[13].Float(),
+		Composite:    r[16].Float(),
+	}
+	socialTable, err := p.DB.Table(SocialTable)
+	if err != nil {
+		return nil, err
+	}
+	if social, err := socialTable.Get(rdbms.String(a.ArticleID)); err == nil {
+		a.Reactions = int(social[1].Int())
+		a.Replies = int(social[2].Int())
+		a.Reshares = int(social[3].Int())
+		a.Likes = int(social[4].Int())
+		a.Support = int(social[5].Int())
+		a.Deny = int(social[6].Int())
+		a.Comment = int(social[7].Int())
+	}
+	if agg, err := p.Reviews.AggregateAt(a.ArticleID, p.Clock()); err == nil {
+		a.ExpertOverall = agg.Overall
+		a.ExpertCount = agg.Count
+	}
+	return a, nil
+}

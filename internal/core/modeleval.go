@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mlcore"
+	"repro/internal/rdbms"
+)
+
+// ModelEvalReport scores a trained model against ground-truth labels — the
+// experiment behind §3.3's periodic model training: distant supervision
+// (lexicon weak labels) must recover the true clickbait signal.
+type ModelEvalReport struct {
+	// Confusion is the binary confusion matrix over the labelled articles.
+	Confusion mlcore.ConfusionMatrix
+	// Accuracy, Precision, Recall, F1 are derived from Confusion.
+	Accuracy, Precision, Recall, F1 float64
+	// Labelled is the number of stored articles with a gold label.
+	Labelled int
+}
+
+// EvaluateClickbaitModel scores the engine's trained clickbait classifier
+// against gold labels keyed by article ID (the synthetic world records
+// which titles used a clickbait template). Stored articles without a gold
+// label are skipped. The engine must have a trained model attached (see
+// TrainClickbaitModel).
+func (p *Platform) EvaluateClickbaitModel(gold map[string]bool) (*ModelEvalReport, error) {
+	model := p.Engine.ClickbaitModel()
+	if model == nil {
+		return nil, fmt.Errorf("evaluate clickbait: no trained model attached: %w", ErrNotIngested)
+	}
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	features := p.Engine.ClickbaitFeatures()
+	var pred, truth []bool
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		label, ok := gold[r[0].Str()]
+		if !ok {
+			return true
+		}
+		pred = append(pred, model.Predict(features.Extract(r[4].Str())))
+		truth = append(truth, label)
+		return true
+	})
+	if len(pred) == 0 {
+		return nil, fmt.Errorf("evaluate clickbait: no labelled articles: %w", ErrNotIngested)
+	}
+	cm, err := mlcore.Confusion(pred, truth)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelEvalReport{
+		Confusion: cm,
+		Accuracy:  cm.Accuracy(),
+		Precision: cm.Precision(),
+		Recall:    cm.Recall(),
+		F1:        cm.F1(),
+		Labelled:  len(pred),
+	}, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/cluster"
+	"repro/internal/compute"
+	"repro/internal/migrate"
+	"repro/internal/rdbms"
+	"repro/internal/reviews"
+	"repro/internal/textutil"
+	"repro/internal/topics"
+)
+
+// This file implements the warehouse-side analytics and training jobs of
+// paper §3.3: "our system periodically trains Machine Learning models on
+// top of the Distributed Storage, accessing the full history of our data",
+// and the ad-hoc replay of historical snapshots into analytics.
+
+// RunIncrementalMigration exports only the articles published on `date`'s
+// day (UTC) into warehouse-inc/<date>/articles.jsonl, served by a range
+// scan over the ordered published index. Replaying the incremental files
+// of consecutive days (plus a full snapshot of the aggregate tables)
+// reconstructs the article history without re-exporting it daily.
+func (p *Platform) RunIncrementalMigration(date time.Time) (int, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return 0, err
+	}
+	day := date.UTC().Truncate(24 * time.Hour)
+	lo := rdbms.Time(day)
+	hi := rdbms.Time(day.AddDate(0, 0, 1).Add(-time.Nanosecond))
+	path := migrate.SnapshotPath("warehouse-inc", day, ArticlesTable)
+	return migrate.ExportRange(articlesTable, p.Warehouse, path, "published", lo, hi)
+}
+
+// ReplayWarehouse imports one daily snapshot from the distributed storage
+// into a fresh in-memory database — the "ad-hoc querying on historical
+// data" path. It returns the scratch database and the imported row count.
+func (p *Platform) ReplayWarehouse(date time.Time) (*rdbms.DB, int, error) {
+	scratch := rdbms.NewDB()
+	total := 0
+	for _, name := range MigrationTables {
+		path := migrate.SnapshotPath("warehouse", date, name)
+		n, err := migrate.Import(scratch, p.Warehouse, path)
+		if err != nil {
+			return nil, total, fmt.Errorf("replay %s: %w", path, err)
+		}
+		total += n
+	}
+	return scratch, total, nil
+}
+
+// BuildFactsFromWarehouse derives the analytics facts from a daily
+// warehouse snapshot instead of the hot store, so historical analytics run
+// without touching the real-time path.
+func (p *Platform) BuildFactsFromWarehouse(date time.Time) ([]analytics.ArticleFact, error) {
+	scratch, _, err := p.ReplayWarehouse(date)
+	if err != nil {
+		return nil, err
+	}
+	articlesTable, err := scratch.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	socialTable, err := scratch.Table(SocialTable)
+	if err != nil {
+		return nil, err
+	}
+	var facts []analytics.ArticleFact
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		social, err := socialTable.Get(r[0])
+		if err != nil {
+			social = nil
+		}
+		facts = append(facts, factFromRows(r, social))
+		return true
+	})
+	sortFacts(facts)
+	return facts, nil
+}
+
+// TopicModelReport summarises a topic-discovery training run.
+type TopicModelReport struct {
+	// Documents is the number of titles clustered.
+	Documents int
+	// Nodes and Leaves count the discovered hierarchy.
+	Nodes, Leaves int
+	// Root is the discovered topic tree.
+	Root *cluster.TopicNode
+	// Tagger assigns the discovered topics to new documents, each node
+	// labelled by its most characteristic terms.
+	Tagger *topics.HierarchyTagger
+}
+
+// TrainTopicModel runs the unsupervised probabilistic hierarchical topic
+// clustering of §3.3 over a warehouse snapshot: titles are tokenised
+// partition-parallel on the compute pool (the Spark role), vectorised with
+// TF-IDF and split by divisive spherical k-means into a generic→specific
+// topic tree.
+func (p *Platform) TrainTopicModel(pool *compute.Pool, date time.Time, cfg cluster.HierarchyConfig) (*TopicModelReport, error) {
+	scratch, _, err := p.ReplayWarehouse(date)
+	if err != nil {
+		return nil, err
+	}
+	articlesTable, err := scratch.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	var titles []string
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		titles = append(titles, r[4].Str())
+		return true
+	})
+	if len(titles) == 0 {
+		return nil, fmt.Errorf("train topics: %w", ErrNotIngested)
+	}
+	ds := compute.FromSlice(titles, pool.Workers())
+	tokenised, err := compute.Map(pool, ds, func(title string) ([]string, error) {
+		return textutil.StemAll(textutil.ContentWords(title)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	docs := tokenised.Collect()
+	root, tfidf, err := topics.Discover(docs, cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &TopicModelReport{
+		Documents: len(docs),
+		Nodes:     cluster.NodeCount(root),
+		Leaves:    len(cluster.Leaves(root)),
+		Root:      root,
+		Tagger:    topics.NewHierarchyTagger(root, tfidf),
+	}, nil
+}
+
+// OutletQuality is one outlet's review-derived quality estimate (paper
+// §3.3: "The quality of an outlet is either computed using the expert
+// reviews or imported from external sources").
+type OutletQuality struct {
+	// OutletID identifies the outlet.
+	OutletID string
+	// Score is the review-derived quality on the 1..5 Likert scale.
+	Score float64
+	// Reviews is the number of expert reviews backing the score.
+	Reviews int
+}
+
+// OutletQualityFromReviews computes each outlet's quality from the expert
+// reviews of its articles (time-weighted, like the per-article aggregate).
+// Outlets without any reviewed article are omitted.
+func (p *Platform) OutletQualityFromReviews() ([]OutletQuality, error) {
+	articlesTable, err := p.DB.Table(ArticlesTable)
+	if err != nil {
+		return nil, err
+	}
+	byOutlet := map[string][]string{}
+	articlesTable.Scan(func(r rdbms.Row) bool {
+		byOutlet[r[1].Str()] = append(byOutlet[r[1].Str()], r[0].Str())
+		return true
+	})
+	now := p.Clock()
+	var out []OutletQuality
+	for outletID, articleIDs := range byOutlet {
+		score, n := p.Reviews.OutletQuality(articleIDs, now)
+		if n == 0 {
+			continue
+		}
+		out = append(out, OutletQuality{OutletID: outletID, Score: score, Reviews: n})
+	}
+	sortOutletQuality(out)
+	return out, nil
+}
+
+// SegmentOutletsByReviewQuality groups review-scored outlets into `bands`
+// quality segments (best first) — the outlet quality-based segmentation of
+// §3.3 when no external ranking is available.
+func (p *Platform) SegmentOutletsByReviewQuality(bands int) ([][]OutletQuality, error) {
+	if bands <= 0 {
+		bands = 5
+	}
+	scored, err := p.OutletQualityFromReviews()
+	if err != nil {
+		return nil, err
+	}
+	if len(scored) == 0 {
+		return nil, fmt.Errorf("segment outlets: no reviewed outlets: %w", reviews.ErrNotFound)
+	}
+	if bands > len(scored) {
+		bands = len(scored)
+	}
+	out := make([][]OutletQuality, bands)
+	// Equal-count bands over the score-sorted list; remainders widen the
+	// leading (best) bands.
+	per, rem := len(scored)/bands, len(scored)%bands
+	idx := 0
+	for b := 0; b < bands; b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		out[b] = scored[idx : idx+n]
+		idx += n
+	}
+	return out, nil
+}
+
+// sortOutletQuality orders by score descending, then outlet ID for
+// determinism.
+func sortOutletQuality(s []OutletQuality) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].OutletID < s[j].OutletID
+	})
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/compute"
+	"repro/internal/dfs"
+	"repro/internal/migrate"
+	"repro/internal/rdbms"
+	"repro/internal/reviews"
+	"repro/internal/synth"
+)
+
+func TestReplayWarehouseRoundTrip(t *testing.T) {
+	p, _ := testPlatform(t, 40, 6, 0.3)
+	date := synth.WindowStart.AddDate(0, 0, 6)
+	exported, err := p.RunDailyMigration(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, imported, err := p.ReplayWarehouse(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != exported {
+		t.Errorf("imported %d of %d rows", imported, exported)
+	}
+	hot, _ := p.DB.Table(ArticlesTable)
+	replayed, err := scratch.Table(ArticlesTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Len() != hot.Len() {
+		t.Errorf("articles: %d vs %d", replayed.Len(), hot.Len())
+	}
+}
+
+func TestReplayWarehouseMissingSnapshot(t *testing.T) {
+	p, _ := testPlatform(t, 41, 3, 0.2)
+	if _, _, err := p.ReplayWarehouse(synth.WindowStart); !errors.Is(err, dfs.ErrNotFound) {
+		t.Errorf("missing snapshot: %v", err)
+	}
+}
+
+func TestWarehouseFactsMatchHotStore(t *testing.T) {
+	p, _ := testPlatform(t, 42, 6, 0.3)
+	date := synth.WindowStart.AddDate(0, 0, 6)
+	if _, err := p.RunDailyMigration(date); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := p.BuildFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.BuildFactsFromWarehouse(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != len(cold) {
+		t.Fatalf("fact counts: %d vs %d", len(hot), len(cold))
+	}
+	hotByID := map[string]int{}
+	for _, f := range hot {
+		hotByID[f.ArticleID] = f.Reactions
+	}
+	for _, f := range cold {
+		reactions, ok := hotByID[f.ArticleID]
+		if !ok {
+			t.Fatalf("article %s missing from hot store", f.ArticleID)
+		}
+		if f.Reactions != reactions {
+			t.Errorf("article %s reactions: %d vs %d", f.ArticleID, f.Reactions, reactions)
+		}
+	}
+}
+
+func TestTrainTopicModelFromWarehouse(t *testing.T) {
+	p, _ := testPlatform(t, 43, 10, 0.5)
+	date := synth.WindowStart.AddDate(0, 0, 10)
+	if _, err := p.RunDailyMigration(date); err != nil {
+		t.Fatal(err)
+	}
+	pool := compute.NewPool(4, 1)
+	rep, err := p.TrainTopicModel(pool, date, cluster.HierarchyConfig{
+		Branch: 2, MaxDepth: 3, MinLeaf: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Documents < 100 {
+		t.Errorf("too few documents: %d", rep.Documents)
+	}
+	if rep.Leaves < 2 {
+		t.Errorf("degenerate hierarchy: %d leaves of %d nodes", rep.Leaves, rep.Nodes)
+	}
+	if rep.Root == nil || len(rep.Root.Members) != rep.Documents {
+		t.Error("root does not cover the corpus")
+	}
+	if rep.Tagger == nil {
+		t.Fatal("no tagger attached")
+	}
+	// The tagger must produce only labelled, positive-probability
+	// assignments for a corpus-like document.
+	tags := rep.Tagger.Tag("new covid-19 vaccine trial reports measured results")
+	for _, a := range tags {
+		if a.Label == "" || a.Prob <= 0 {
+			t.Errorf("bad assignment: %+v", a)
+		}
+	}
+}
+
+func TestTrainTopicModelMissingSnapshot(t *testing.T) {
+	p, _ := testPlatform(t, 44, 3, 0.2)
+	pool := compute.NewPool(2, 0)
+	if _, err := p.TrainTopicModel(pool, synth.WindowStart, cluster.HierarchyConfig{}); err == nil {
+		t.Error("expected error for missing snapshot")
+	}
+}
+
+func TestOutletQualityFromReviews(t *testing.T) {
+	p, w := testPlatform(t, 45, 6, 0.3)
+	now := p.Clock()
+
+	// Review two articles of one outlet high and one article of another
+	// outlet low.
+	byOutlet := w.ArticlesByOutlet()
+	var outletA, outletB string
+	for id, arts := range byOutlet {
+		if len(arts) >= 2 && outletA == "" {
+			outletA = id
+		} else if len(arts) >= 1 && id != outletA && outletB == "" {
+			outletB = id
+		}
+	}
+	if outletA == "" || outletB == "" {
+		t.Skip("world too small for two outlets")
+	}
+	submit := func(articleID string, score int) {
+		r := reviews.Review{ArticleID: articleID, Reviewer: "e", Time: now}
+		for c := range r.Scores {
+			r.Scores[c] = score
+		}
+		if _, err := p.Reviews.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(byOutlet[outletA][0], 5)
+	submit(byOutlet[outletA][1], 4)
+	submit(byOutlet[outletB][0], 2)
+
+	scored, err := p.OutletQualityFromReviews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != 2 {
+		t.Fatalf("scored outlets: %+v", scored)
+	}
+	if scored[0].OutletID != outletA || scored[1].OutletID != outletB {
+		t.Errorf("ordering: %+v", scored)
+	}
+	if scored[0].Score <= scored[1].Score {
+		t.Errorf("scores: %+v", scored)
+	}
+	if scored[0].Reviews != 2 || scored[1].Reviews != 1 {
+		t.Errorf("review counts: %+v", scored)
+	}
+
+	segments, err := p.SegmentOutletsByReviewQuality(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 2 || segments[0][0].OutletID != outletA {
+		t.Errorf("segments: %+v", segments)
+	}
+}
+
+func TestSegmentOutletsNoReviews(t *testing.T) {
+	p, _ := testPlatform(t, 46, 3, 0.2)
+	if _, err := p.SegmentOutletsByReviewQuality(3); err == nil {
+		t.Error("expected error with no reviews")
+	}
+}
+
+func TestSegmentBandsClamped(t *testing.T) {
+	p, w := testPlatform(t, 47, 4, 0.2)
+	now := p.Clock()
+	r := reviews.Review{ArticleID: w.Articles[0].ID, Reviewer: "e", Time: now}
+	for c := range r.Scores {
+		r.Scores[c] = 3
+	}
+	if _, err := p.Reviews.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	segments, err := p.SegmentOutletsByReviewQuality(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 1 {
+		t.Errorf("bands should clamp to scored outlets: %d", len(segments))
+	}
+}
+
+func TestBuildFactsBetweenMatchesFilteredScan(t *testing.T) {
+	p, _ := testPlatform(t, 48, 10, 0.4)
+	from := synth.WindowStart.AddDate(0, 0, 2)
+	to := synth.WindowStart.AddDate(0, 0, 7)
+
+	ranged, err := p.BuildFactsBetween(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := p.BuildFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, f := range all {
+		if !f.Published.Before(from) && f.Published.Before(to) {
+			want[f.ArticleID] = true
+		}
+	}
+	if len(ranged) != len(want) {
+		t.Fatalf("range facts: %d want %d", len(ranged), len(want))
+	}
+	for _, f := range ranged {
+		if !want[f.ArticleID] {
+			t.Errorf("article %s outside window (%v)", f.ArticleID, f.Published)
+		}
+	}
+}
+
+func TestBuildFactsBetweenEmptyWindow(t *testing.T) {
+	p, _ := testPlatform(t, 49, 5, 0.2)
+	from := synth.WindowStart.AddDate(1, 0, 0)
+	facts, err := p.BuildFactsBetween(from, from.AddDate(0, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 0 {
+		t.Errorf("facts in empty window: %d", len(facts))
+	}
+}
+
+func TestFigure4ParallelMatchesSequential(t *testing.T) {
+	p, _ := testPlatform(t, 54, 12, 0.4)
+	sequential, err := p.Figure4(synth.WindowStart, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := compute.NewPool(4, 1)
+	parallel, err := p.Figure4Parallel(pool, synth.WindowStart, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, series := range sequential.MeanSharePct {
+		for day, v := range series {
+			got := parallel.MeanSharePct[c][day]
+			if diff := got - v; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("class %v day %d: %v vs %v", c, day, got, v)
+			}
+		}
+	}
+}
+
+func TestIncrementalMigrationReconstructsHistory(t *testing.T) {
+	p, w := testPlatform(t, 55, 6, 0.3)
+
+	// Export one incremental slice per day of the window.
+	total := 0
+	for day := 0; day < 6; day++ {
+		n, err := p.RunIncrementalMigration(synth.WindowStart.AddDate(0, 0, day))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != len(w.Articles) {
+		t.Errorf("incremental slices cover %d of %d articles", total, len(w.Articles))
+	}
+
+	// Replaying every slice into a fresh DB reconstructs the full table.
+	scratch := rdbms.NewDB()
+	for _, path := range p.Warehouse.List("warehouse-inc/") {
+		if _, err := migrate.Import(scratch, p.Warehouse, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := scratch.Table(ArticlesTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := p.DB.Table(ArticlesTable)
+	if replayed.Len() != hot.Len() {
+		t.Errorf("replayed %d of %d rows", replayed.Len(), hot.Len())
+	}
+}
+
+func TestIncrementalMigrationEmptyDay(t *testing.T) {
+	p, _ := testPlatform(t, 56, 3, 0.2)
+	n, err := p.RunIncrementalMigration(synth.WindowStart.AddDate(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("rows on empty day: %d", n)
+	}
+}
+
+func TestRunDailyFullCycle(t *testing.T) {
+	p, _ := testPlatform(t, 57, 10, 0.5)
+	pool := compute.NewPool(4, 1)
+	date := synth.WindowStart.AddDate(0, 0, 10)
+	rep, err := p.RunDaily(pool, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MigratedRows == 0 {
+		t.Error("nothing migrated")
+	}
+	if rep.Clickbait == nil || rep.Clickbait.Examples == 0 {
+		t.Errorf("clickbait stage skipped: %+v", rep.Clickbait)
+	}
+	if rep.Stance == nil || rep.Stance.Examples == 0 {
+		t.Errorf("stance stage skipped: %+v", rep.Stance)
+	}
+	if rep.Topics == nil || rep.Topics.Leaves < 2 {
+		t.Errorf("topic stage: %+v", rep.Topics)
+	}
+	// The trained models are live on the serving path.
+	if p.Engine.ClickbaitModel() == nil {
+		t.Error("clickbait model not attached after daily cycle")
+	}
+}
+
+func TestRunDailyOnEmptyPlatformSkipsTraining(t *testing.T) {
+	p, err := NewPlatform(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := compute.NewPool(2, 0)
+	rep, err := p.RunDaily(pool, synth.WindowStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clickbait != nil || rep.Stance != nil || rep.Topics != nil {
+		t.Errorf("training should be skipped on empty platform: %+v", rep)
+	}
+}

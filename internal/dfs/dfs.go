@@ -1,0 +1,464 @@
+// Package dfs simulates the Hadoop-style Distributed Storage of the SciLens
+// data layer (paper §3.3): an in-process distributed file system with a
+// namenode (metadata), virtual datanodes (block storage), configurable
+// block size and replication, block checksums with corruption detection,
+// and datanode failure/recovery to exercise the replication path.
+//
+// Files are append-only, matching the warehouse usage pattern: the daily
+// migration job writes immutable snapshots that analytics jobs then read
+// partition-parallel.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned for missing files or blocks.
+	ErrNotFound = errors.New("dfs: not found")
+	// ErrExists is returned when creating a file that already exists.
+	ErrExists = errors.New("dfs: already exists")
+	// ErrCorrupt is returned when every replica of a block fails its
+	// checksum.
+	ErrCorrupt = errors.New("dfs: block corrupt on all replicas")
+	// ErrUnavailable is returned when no live datanode holds a block.
+	ErrUnavailable = errors.New("dfs: block unavailable")
+	// ErrConfig is returned for invalid cluster configuration.
+	ErrConfig = errors.New("dfs: invalid configuration")
+	// ErrClosed is returned when writing to a closed writer.
+	ErrClosed = errors.New("dfs: writer closed")
+)
+
+// blockID identifies a stored block cluster-wide.
+type blockID struct {
+	file string
+	seq  int
+}
+
+// storedBlock is one replica of a block on a datanode.
+type storedBlock struct {
+	data []byte
+	crc  uint32
+}
+
+// datanode is one virtual storage node.
+type datanode struct {
+	mu     sync.RWMutex
+	id     int
+	blocks map[blockID]*storedBlock
+	live   bool
+}
+
+func (dn *datanode) put(id blockID, data []byte) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	cp := append([]byte(nil), data...)
+	dn.blocks[id] = &storedBlock{data: cp, crc: crc32.ChecksumIEEE(cp)}
+}
+
+// get returns the block bytes, reporting checksum validity.
+func (dn *datanode) get(id blockID) ([]byte, bool, error) {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	b, ok := dn.blocks[id]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	valid := crc32.ChecksumIEEE(b.data) == b.crc
+	return b.data, valid, nil
+}
+
+// corrupt flips a byte in the stored replica (test/fault injection).
+func (dn *datanode) corrupt(id blockID) bool {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	b, ok := dn.blocks[id]
+	if !ok || len(b.data) == 0 {
+		return false
+	}
+	b.data[0] ^= 0xFF
+	return true
+}
+
+// blockMeta is the namenode's record of one logical block.
+type blockMeta struct {
+	id       blockID
+	size     int
+	replicas []int // datanode ids
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	name   string
+	blocks []blockMeta
+	size   int64
+	sealed bool
+}
+
+// Config configures a simulated cluster.
+type Config struct {
+	// DataNodes is the number of virtual datanodes (>= 1).
+	DataNodes int
+	// BlockSize is the maximum block payload in bytes (default 1 MiB).
+	BlockSize int
+	// Replication is the number of replicas per block (clamped to
+	// DataNodes; default 3).
+	Replication int
+}
+
+// Cluster is the simulated DFS: one namenode plus DataNodes datanodes.
+// All methods are safe for concurrent use.
+type Cluster struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	files map[string]*fileMeta
+	nodes []*datanode
+	next  int // round-robin placement cursor
+}
+
+// NewCluster creates a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.DataNodes < 1 {
+		return nil, fmt.Errorf("need >= 1 datanode: %w", ErrConfig)
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 1 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > cfg.DataNodes {
+		cfg.Replication = cfg.DataNodes
+	}
+	c := &Cluster{cfg: cfg, files: make(map[string]*fileMeta)}
+	for i := 0; i < cfg.DataNodes; i++ {
+		c.nodes = append(c.nodes, &datanode{id: i, blocks: make(map[blockID]*storedBlock), live: true})
+	}
+	return c, nil
+}
+
+// Config returns the effective cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Create opens a new file for writing. The file becomes visible to readers
+// only after Writer.Close seals it.
+func (c *Cluster) Create(name string) (*Writer, error) {
+	if name == "" || strings.ContainsRune(name, '\x00') {
+		return nil, fmt.Errorf("bad file name: %w", ErrConfig)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.files[name]; dup {
+		return nil, fmt.Errorf("file %q: %w", name, ErrExists)
+	}
+	meta := &fileMeta{name: name}
+	c.files[name] = meta
+	return &Writer{c: c, meta: meta, buf: make([]byte, 0, c.cfg.BlockSize)}, nil
+}
+
+// placeReplicas picks Replication distinct live datanodes round-robin.
+func (c *Cluster) placeReplicas() ([]int, error) {
+	var live []int
+	for _, dn := range c.nodes {
+		dn.mu.RLock()
+		ok := dn.live
+		dn.mu.RUnlock()
+		if ok {
+			live = append(live, dn.id)
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrUnavailable
+	}
+	n := c.cfg.Replication
+	if n > len(live) {
+		n = len(live)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, live[(c.next+i)%len(live)])
+	}
+	c.next = (c.next + 1) % len(live)
+	return out, nil
+}
+
+// Writer streams data into a file, cutting blocks at BlockSize.
+type Writer struct {
+	c      *Cluster
+	meta   *fileMeta
+	buf    []byte
+	seq    int
+	closed bool
+	mu     sync.Mutex
+}
+
+// Write appends p; it never returns a short count unless the cluster has
+// no live datanodes.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	for len(p) > 0 {
+		room := w.c.cfg.BlockSize - len(w.buf)
+		take := room
+		if take > len(p) {
+			take = len(p)
+		}
+		w.buf = append(w.buf, p[:take]...)
+		p = p[take:]
+		total += take
+		if len(w.buf) == w.c.cfg.BlockSize {
+			if err := w.flushBlock(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	w.c.mu.Lock()
+	replicas, err := w.c.placeReplicas()
+	w.c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	id := blockID{file: w.meta.name, seq: w.seq}
+	for _, nodeID := range replicas {
+		w.c.nodes[nodeID].put(id, w.buf)
+	}
+	w.c.mu.Lock()
+	w.meta.blocks = append(w.meta.blocks, blockMeta{id: id, size: len(w.buf), replicas: replicas})
+	w.meta.size += int64(len(w.buf))
+	w.c.mu.Unlock()
+	w.seq++
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the final partial block and seals the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.closed = true
+	w.c.mu.Lock()
+	w.meta.sealed = true
+	w.c.mu.Unlock()
+	return nil
+}
+
+// ReadFile returns the full contents of a sealed file, reading each block
+// from the first live replica with a valid checksum. Corrupt replicas are
+// skipped (and repaired from a healthy one); if no replica of some block is
+// readable the read fails.
+func (c *Cluster) ReadFile(name string) ([]byte, error) {
+	c.mu.RLock()
+	meta, ok := c.files[name]
+	if !ok || !meta.sealed {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("file %q: %w", name, ErrNotFound)
+	}
+	blocks := append([]blockMeta(nil), meta.blocks...)
+	size := meta.size
+	c.mu.RUnlock()
+
+	out := make([]byte, 0, size)
+	for _, bm := range blocks {
+		data, err := c.readBlock(bm)
+		if err != nil {
+			return nil, fmt.Errorf("file %q block %d: %w", name, bm.id.seq, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// readBlock tries replicas in order, repairing corruption when possible.
+func (c *Cluster) readBlock(bm blockMeta) ([]byte, error) {
+	var sawReplica bool
+	var corruptNodes []int
+	var healthy []byte
+	for _, nodeID := range bm.replicas {
+		dn := c.nodes[nodeID]
+		dn.mu.RLock()
+		live := dn.live
+		dn.mu.RUnlock()
+		if !live {
+			continue
+		}
+		data, valid, err := dn.get(bm.id)
+		if err != nil {
+			continue
+		}
+		sawReplica = true
+		if !valid {
+			corruptNodes = append(corruptNodes, nodeID)
+			continue
+		}
+		healthy = data
+		break
+	}
+	if healthy != nil {
+		// Repair corrupt replicas in the background of this call.
+		for _, nodeID := range corruptNodes {
+			c.nodes[nodeID].put(bm.id, healthy)
+		}
+		return healthy, nil
+	}
+	if sawReplica {
+		return nil, ErrCorrupt
+	}
+	return nil, ErrUnavailable
+}
+
+// WriteFile is a convenience: Create + Write + Close.
+func (c *Cluster) WriteFile(name string, data []byte) error {
+	w, err := c.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Delete removes a file and its blocks from all datanodes.
+func (c *Cluster) Delete(name string) error {
+	c.mu.Lock()
+	meta, ok := c.files[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("file %q: %w", name, ErrNotFound)
+	}
+	delete(c.files, name)
+	blocks := meta.blocks
+	c.mu.Unlock()
+	for _, bm := range blocks {
+		for _, nodeID := range bm.replicas {
+			dn := c.nodes[nodeID]
+			dn.mu.Lock()
+			delete(dn.blocks, bm.id)
+			dn.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// List returns the sealed file names with the given prefix, sorted.
+func (c *Cluster) List(prefix string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for name, meta := range c.files {
+		if meta.sealed && strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat describes a stored file.
+type Stat struct {
+	// Name is the file name.
+	Name string
+	// Size is the payload size in bytes.
+	Size int64
+	// Blocks is the number of blocks.
+	Blocks int
+	// Sealed reports whether the file is readable.
+	Sealed bool
+}
+
+// Stat returns file metadata.
+func (c *Cluster) Stat(name string) (Stat, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	meta, ok := c.files[name]
+	if !ok {
+		return Stat{}, fmt.Errorf("file %q: %w", name, ErrNotFound)
+	}
+	return Stat{Name: name, Size: meta.size, Blocks: len(meta.blocks), Sealed: meta.sealed}, nil
+}
+
+// KillNode marks a datanode dead; reads fail over to other replicas.
+func (c *Cluster) KillNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("node %d: %w", id, ErrNotFound)
+	}
+	dn := c.nodes[id]
+	dn.mu.Lock()
+	dn.live = false
+	dn.mu.Unlock()
+	return nil
+}
+
+// ReviveNode marks a datanode live again.
+func (c *Cluster) ReviveNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("node %d: %w", id, ErrNotFound)
+	}
+	dn := c.nodes[id]
+	dn.mu.Lock()
+	dn.live = true
+	dn.mu.Unlock()
+	return nil
+}
+
+// CorruptBlock flips bits in one replica of the file's block seq on the
+// given node, for fault-injection tests. Reports whether a replica was
+// actually corrupted.
+func (c *Cluster) CorruptBlock(name string, seq, nodeID int) bool {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return false
+	}
+	return c.nodes[nodeID].corrupt(blockID{file: name, seq: seq})
+}
+
+// BlockLocations returns, for each block of the file, the datanode ids
+// holding replicas. Useful for partition-local compute scheduling.
+func (c *Cluster) BlockLocations(name string) ([][]int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	meta, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("file %q: %w", name, ErrNotFound)
+	}
+	out := make([][]int, len(meta.blocks))
+	for i, bm := range meta.blocks {
+		out[i] = append([]int(nil), bm.replicas...)
+	}
+	return out, nil
+}
+
+// TotalBlocks returns the number of (logical block, replica) pairs stored
+// cluster-wide, for diagnostics.
+func (c *Cluster) TotalBlocks() int {
+	total := 0
+	for _, dn := range c.nodes {
+		dn.mu.RLock()
+		total += len(dn.blocks)
+		dn.mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,307 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCluster(t *testing.T, nodes, blockSize, repl int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{DataNodes: nodes, BlockSize: blockSize, Replication: repl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{DataNodes: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero nodes: %v", err)
+	}
+	c, err := NewCluster(Config{DataNodes: 2, Replication: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Replication != 2 {
+		t.Errorf("replication clamp: %d", c.Config().Replication)
+	}
+	if c.Config().BlockSize != 1<<20 {
+		t.Errorf("default block size: %d", c.Config().BlockSize)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 4, 16, 2)
+	payload := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	if err := c.WriteFile("warehouse/day1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("warehouse/day1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip mismatch: %q", got)
+	}
+	st, err := c.Stat("warehouse/day1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(payload)) {
+		t.Errorf("size: %d", st.Size)
+	}
+	wantBlocks := (len(payload) + 15) / 16
+	if st.Blocks != wantBlocks {
+		t.Errorf("blocks: %d want %d", st.Blocks, wantBlocks)
+	}
+}
+
+func TestUnsealedInvisible(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	w, err := c.Create("pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("data"))
+	if _, err := c.ReadFile("pending"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unsealed read: %v", err)
+	}
+	if got := c.List(""); len(got) != 0 {
+		t.Errorf("unsealed listed: %v", got)
+	}
+	w.Close()
+	if _, err := c.ReadFile("pending"); err != nil {
+		t.Errorf("sealed read: %v", err)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	c.WriteFile("a", []byte("x"))
+	if _, err := c.Create("a"); !errors.Is(err, ErrExists) {
+		t.Errorf("dup: %v", err)
+	}
+	if _, err := c.Create(""); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty name: %v", err)
+	}
+	if _, err := c.ReadFile("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+}
+
+func TestWriterClosedErrors(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	w, _ := c.Create("f")
+	w.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	c := newTestCluster(t, 4, 8, 3)
+	payload := bytes.Repeat([]byte("abcdefgh"), 10)
+	c.WriteFile("replicated", payload)
+
+	locs, err := c.BlockLocations("replicated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nodes := range locs {
+		if len(nodes) != 3 {
+			t.Errorf("block %d replicas: %d", i, len(nodes))
+		}
+	}
+	// Kill two of the four nodes; at least one replica of each block
+	// remains (replication 3 on 4 nodes).
+	c.KillNode(0)
+	c.KillNode(1)
+	got, err := c.ReadFile("replicated")
+	if err != nil {
+		t.Fatalf("read with 2 dead nodes: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch after failover")
+	}
+	// Kill everything: unavailable.
+	c.KillNode(2)
+	c.KillNode(3)
+	if _, err := c.ReadFile("replicated"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("all dead: %v", err)
+	}
+	// Revive two nodes: with replication 3 on 4 nodes every block misses
+	// at most one node, so any two live nodes cover all blocks.
+	c.ReviveNode(2)
+	c.ReviveNode(0)
+	if _, err := c.ReadFile("replicated"); err != nil {
+		t.Errorf("after revive: %v", err)
+	}
+}
+
+func TestKillReviveBounds(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	if err := c.KillNode(-1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("kill -1: %v", err)
+	}
+	if err := c.ReviveNode(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("revive 99: %v", err)
+	}
+}
+
+func TestChecksumDetectsAndRepairsCorruption(t *testing.T) {
+	c := newTestCluster(t, 3, 8, 2)
+	payload := []byte("corruption-target-block")
+	c.WriteFile("f", payload)
+	locs, _ := c.BlockLocations("f")
+	// Corrupt the first replica of block 0.
+	if !c.CorruptBlock("f", 0, locs[0][0]) {
+		t.Fatal("corruption not applied")
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read with one corrupt replica: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch")
+	}
+	// The read should have repaired the corrupt replica: corrupt the
+	// *other* replica now and the first must serve valid data.
+	if !c.CorruptBlock("f", 0, locs[0][1]) {
+		t.Fatal("second corruption not applied")
+	}
+	got, err = c.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("repair did not happen")
+	}
+}
+
+func TestAllReplicasCorrupt(t *testing.T) {
+	c := newTestCluster(t, 2, 64, 2)
+	payload := []byte("doomed")
+	c.WriteFile("f", payload)
+	locs, _ := c.BlockLocations("f")
+	for _, nodeID := range locs[0] {
+		c.CorruptBlock("f", 0, nodeID)
+	}
+	if _, err := c.ReadFile("f"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("all corrupt: %v", err)
+	}
+}
+
+func TestDeleteRemovesBlocks(t *testing.T) {
+	c := newTestCluster(t, 3, 8, 2)
+	c.WriteFile("f", bytes.Repeat([]byte("x"), 100))
+	if c.TotalBlocks() == 0 {
+		t.Fatal("no blocks stored")
+	}
+	if err := c.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBlocks() != 0 {
+		t.Errorf("blocks leaked: %d", c.TotalBlocks())
+	}
+	if err := c.Delete("f"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	c.WriteFile("warehouse/2020-01-15/articles", []byte("a"))
+	c.WriteFile("warehouse/2020-01-16/articles", []byte("b"))
+	c.WriteFile("models/clickbait", []byte("c"))
+	got := c.List("warehouse/")
+	if len(got) != 2 {
+		t.Fatalf("list: %v", got)
+	}
+	if got[0] != "warehouse/2020-01-15/articles" {
+		t.Errorf("sort order: %v", got)
+	}
+	if all := c.List(""); len(all) != 3 {
+		t.Errorf("all: %v", all)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := newTestCluster(t, 2, 8, 1)
+	if err := c.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty file: %d bytes", len(got))
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	c := newTestCluster(t, 4, 32, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("file-%d", i)
+			payload := bytes.Repeat([]byte{byte('a' + i)}, 100+i*13)
+			if err := c.WriteFile(name, payload); err != nil {
+				t.Errorf("write %s: %v", name, err)
+				return
+			}
+			got, err := c.ReadFile(name)
+			if err != nil {
+				t.Errorf("read %s: %v", name, err)
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				t.Errorf("mismatch %s", name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(c.List("")); got != 8 {
+		t.Errorf("files: %d", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	c := newTestCluster(t, 3, 17, 2) // odd block size to exercise split edges
+	i := 0
+	check := func(data []byte) bool {
+		i++
+		name := fmt.Sprintf("prop-%d", i)
+		if err := c.WriteFile(name, data); err != nil {
+			return false
+		}
+		got, err := c.ReadFile(name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(200)
+			b := make([]byte, n)
+			rng.Read(b)
+			vals[0] = reflect.ValueOf(b)
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

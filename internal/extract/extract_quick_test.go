@@ -1,0 +1,89 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsProperty fuzzes the tolerant parser with arbitrary
+// byte soup: the streaming pipeline feeds it whatever the firehose fetched,
+// so it must never panic and must keep its output invariants (absolute
+// links, whitespace-collapsed fields) for any input.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(doc string, base bool) bool {
+		baseURL := ""
+		if base {
+			baseURL = "https://outlet.example/story"
+		}
+		art, err := Parse(doc, baseURL)
+		if err != nil {
+			return true // rejecting is fine; panicking is not
+		}
+		for _, link := range art.Links {
+			if !strings.Contains(link, "://") {
+				t.Logf("relative link leaked: %q", link)
+				return false
+			}
+		}
+		if strings.Contains(art.Title, "\n") || strings.Contains(art.Byline, "\n") {
+			t.Logf("unnormalised field: %q %q", art.Title, art.Byline)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseHostileMarkup feeds adversarial but structured documents.
+func TestParseHostileMarkup(t *testing.T) {
+	cases := []string{
+		strings.Repeat("<div>", 10000),                         // deep nesting, never closed
+		"<title>" + strings.Repeat("x", 1<<16),                 // unterminated giant title
+		"<a href=>empty</a><a href>none</a><p>body text here",  // degenerate attributes
+		"<p>" + strings.Repeat("&amp;", 5000),                  // entity storm
+		"<script>" + strings.Repeat("<p>hi</p>", 100),          // content hidden in script
+		"<!-- " + strings.Repeat("-", 4096),                    // unterminated comment
+		"<p class='a\" b'>quote confusion</p><p>more body</p>", // mixed quotes
+		"\x00\x01\x02<p>control bytes</p>",
+	}
+	for i, doc := range cases {
+		if _, err := Parse(doc, "https://x.example/"); err != nil {
+			// Rejection is acceptable; this loop only guards panics.
+			t.Logf("case %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestParseLinkResolution pins relative-link handling against the base URL.
+func TestParseLinkResolution(t *testing.T) {
+	doc := `<html><body><p>text body with words
+<a href="/local/page">rel</a>
+<a href="other">sibling</a>
+<a href="https://abs.example/x">abs</a>
+<a href="#frag">frag</a>
+<a href="mailto:x@y.z">mail</a></p></body></html>`
+	art, err := Parse(doc, "https://outlet.example/dir/story")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"https://outlet.example/local/page": false,
+		"https://abs.example/x":             false,
+	}
+	for _, link := range art.Links {
+		if _, ok := want[link]; ok {
+			want[link] = true
+		}
+		if strings.HasPrefix(link, "mailto:") || strings.Contains(link, "#frag") {
+			t.Errorf("non-article link leaked: %q", link)
+		}
+	}
+	for link, seen := range want {
+		if !seen {
+			t.Errorf("link %q not resolved (got %v)", link, art.Links)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package indicators is the unified indicator engine of the SciLens
+// platform: given an article document and its social-media cascade, it
+// computes every §3.1 quality indicator — content (clickbait,
+// subjectivity, readability, byline), news context (internal / external /
+// scientific references) and social (reach, stance) — plus topic
+// assignments and one composite automated quality score. A bounded cache
+// makes repeated real-time evaluations of the same article cheap
+// (the Indicators API path, §3.3).
+package indicators
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/contentind"
+	"repro/internal/extract"
+	"repro/internal/outlets"
+	"repro/internal/refind"
+	"repro/internal/socialind"
+	"repro/internal/topics"
+)
+
+// ErrNoArticle is returned when the document cannot be parsed.
+var ErrNoArticle = errors.New("indicators: no article content")
+
+// Report is the full indicator bundle for one article — the data behind
+// the paper's Figure 3 single-article view.
+type Report struct {
+	// Article is the extracted structured article.
+	Article *extract.Article
+	// Content holds the content indicators.
+	Content contentind.Indicators
+	// Context holds the news-context (reference) indicators.
+	Context refind.Indicators
+	// Social holds the social-media indicators (zero value when no
+	// cascade was supplied).
+	Social socialind.Indicators
+	// Topics are the assigned taxonomy topics, most probable first.
+	Topics []topics.Assignment
+	// Composite is the unified automated quality score in [0, 1]
+	// (higher = better quality).
+	Composite float64
+}
+
+// Engine computes indicator reports. Create with NewEngine; attach trained
+// models with SetClickbaitModel / SetStanceModel. Safe for concurrent use.
+type Engine struct {
+	content *contentind.Analyzer
+	refs    *refind.Classifier
+	stance  *socialind.StanceClassifier
+	tagger  *topics.Tagger
+
+	mu    sync.Mutex
+	cache map[string]*Report
+	order []string
+	// CacheSize bounds the evaluation cache (default 1024; 0 disables).
+	cacheSize int
+}
+
+// Config configures NewEngine.
+type Config struct {
+	// Registry resolves outlet domains for reference classification
+	// (default: outlets.DemoShortlist()).
+	Registry *outlets.Registry
+	// Taxonomy is the supervised topic taxonomy (default:
+	// topics.DefaultTaxonomy()).
+	Taxonomy *topics.Taxonomy
+	// CacheSize bounds the per-URL report cache (default 1024; negative
+	// disables caching).
+	CacheSize int
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Registry == nil {
+		cfg.Registry = outlets.DemoShortlist()
+	}
+	if cfg.Taxonomy == nil {
+		cfg.Taxonomy = topics.DefaultTaxonomy()
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 1024
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &Engine{
+		content:   contentind.NewAnalyzer(),
+		refs:      refind.NewClassifier(cfg.Registry),
+		stance:    socialind.NewStanceClassifier(),
+		tagger:    topics.NewTagger(cfg.Taxonomy),
+		cache:     make(map[string]*Report),
+		cacheSize: size,
+	}
+}
+
+// SetClickbaitModel attaches a trained clickbait classifier.
+func (e *Engine) SetClickbaitModel(m *classify.LogReg) {
+	e.content.SetClickbaitModel(m)
+	e.flushCache()
+}
+
+// ClickbaitFeatures exposes the content feature extractor for training.
+func (e *Engine) ClickbaitFeatures() *contentind.FeatureExtractor { return e.content.Features() }
+
+// ClickbaitModel returns the trained clickbait model attached to the
+// engine, or nil before the first training run.
+func (e *Engine) ClickbaitModel() *classify.LogReg { return e.content.ClickbaitModel() }
+
+// SetStanceModel attaches a trained stance model.
+func (e *Engine) SetStanceModel(nb *classify.NaiveBayes) {
+	e.stance.SetModel(nb)
+	e.flushCache()
+}
+
+// Tagger returns the engine's topic tagger.
+func (e *Engine) Tagger() *topics.Tagger { return e.tagger }
+
+// Stance returns the engine's stance classifier (for cascade-only paths).
+func (e *Engine) Stance() *socialind.StanceClassifier { return e.stance }
+
+// Evaluate computes the full report for an article document. cascade may
+// be nil (content + context indicators only). Results for the same URL are
+// cached until a model changes; pass url == "" to bypass the cache.
+func (e *Engine) Evaluate(doc, url string, cascade []socialind.Post) (*Report, error) {
+	if url != "" && len(cascade) == 0 {
+		if r := e.cached(url); r != nil {
+			return r, nil
+		}
+	}
+	art, err := extract.Parse(doc, url)
+	if err != nil {
+		return nil, errors.Join(ErrNoArticle, err)
+	}
+	r := e.EvaluateArticle(art, cascade)
+	if url != "" && len(cascade) == 0 {
+		e.store(url, r)
+	}
+	return r, nil
+}
+
+// EvaluateArticle computes the report for an already-extracted article.
+func (e *Engine) EvaluateArticle(art *extract.Article, cascade []socialind.Post) *Report {
+	r := &Report{Article: art}
+	r.Content = e.content.Analyze(art)
+	r.Context = e.refs.Analyze(art)
+	if len(cascade) > 0 {
+		r.Social = e.stance.Analyze(cascade)
+	}
+	r.Topics = e.tagger.Tag(art.Title + " " + art.Body)
+	r.Composite = Composite(r)
+	return r
+}
+
+// Composite blends the automated indicators into one quality score in
+// [0, 1]. Weights follow the indicator families of §3.1: content quality
+// (clickbait, subjectivity, byline) and journalistic foundations
+// (source strength) dominate; social stance contributes when present.
+func Composite(r *Report) float64 {
+	score := 0.30*(1-r.Content.Clickbait) +
+		0.20*(1-r.Content.Subjectivity) +
+		0.10*boolScore(r.Content.HasByline) +
+		0.30*r.Context.SourceStrength
+	// Social stance: only meaningful with enough classified replies.
+	if r.Social.Stances.Total() >= 3 {
+		// NetStance in [-1,1] → [0,1].
+		score += 0.10 * (r.Social.Stances.NetStance() + 1) / 2
+	} else {
+		// Redistribute the social weight onto the content/context blocks.
+		score *= 1.0 / 0.9
+	}
+	if score > 1 {
+		score = 1
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score
+}
+
+func boolScore(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cached returns a cache hit or nil.
+func (e *Engine) cached(url string) *Report {
+	if e.cacheSize == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache[url]
+}
+
+// store inserts into the FIFO-bounded cache.
+func (e *Engine) store(url string, r *Report) {
+	if e.cacheSize == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.cache[url]; !exists {
+		e.order = append(e.order, url)
+		if len(e.order) > e.cacheSize {
+			evict := e.order[0]
+			e.order = e.order[1:]
+			delete(e.cache, evict)
+		}
+	}
+	e.cache[url] = r
+}
+
+// flushCache clears the cache (models changed).
+func (e *Engine) flushCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[string]*Report)
+	e.order = nil
+}
+
+// CacheLen returns the number of cached reports.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}

@@ -1,0 +1,146 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func normalSample(n int, mean, sd float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()*sd + mean
+	}
+	return out
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 0); err != ErrNoData {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	k, err := New(normalSample(500, 0, 1, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := k.Support()
+	integral := k.Integrate(min, max, 512)
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("integral: %v", integral)
+	}
+}
+
+func TestDensityPeaksNearMean(t *testing.T) {
+	k, _ := New(normalSample(800, 5, 1, 2), 0)
+	mode := k.Mode(512)
+	if math.Abs(mode-5) > 0.5 {
+		t.Errorf("mode: %v, want near 5", mode)
+	}
+	if k.Density(5) <= k.Density(9) {
+		t.Error("density at mean should exceed density in tail")
+	}
+}
+
+func TestBandwidthSelectors(t *testing.T) {
+	s := normalSample(400, 0, 2, 3)
+	hs := Silverman(s)
+	hc := Scott(s)
+	if hs <= 0 || hc <= 0 {
+		t.Fatalf("bandwidths must be positive: %v %v", hs, hc)
+	}
+	// For a normal sample both rules should be within a factor ~2.
+	if hs/hc > 2 || hc/hs > 2 {
+		t.Errorf("selectors disagree wildly: silverman=%v scott=%v", hs, hc)
+	}
+}
+
+func TestBandwidthDegenerateSamples(t *testing.T) {
+	if h := Silverman([]float64{3, 3, 3, 3}); h <= 0 {
+		t.Errorf("constant sample bandwidth: %v", h)
+	}
+	if h := Silverman([]float64{0, 0, 0}); h <= 0 {
+		t.Errorf("zero sample bandwidth: %v", h)
+	}
+	if h := Scott([]float64{7}); h <= 0 {
+		t.Errorf("single point: %v", h)
+	}
+	if h := Silverman(nil); h != 1 {
+		t.Errorf("empty: %v", h)
+	}
+}
+
+func TestExplicitBandwidthRespected(t *testing.T) {
+	k, _ := New([]float64{1, 2, 3}, 0.25)
+	if k.Bandwidth != 0.25 {
+		t.Errorf("bandwidth: %v", k.Bandwidth)
+	}
+}
+
+func TestEvaluateGridShape(t *testing.T) {
+	k, _ := New(normalSample(100, 0, 1, 4), 0)
+	g := k.Evaluate(-3, 3, 100)
+	if len(g.X) != 100 || len(g.Y) != 100 {
+		t.Fatalf("grid: %d %d", len(g.X), len(g.Y))
+	}
+	if g.X[0] != -3 || g.X[99] != 3 {
+		t.Errorf("grid endpoints: %v %v", g.X[0], g.X[99])
+	}
+	// Defaults and inverted range.
+	g = k.Evaluate(3, -3, 0)
+	if len(g.X) != 64 || g.X[0] != -3 {
+		t.Errorf("defaults: %d %v", len(g.X), g.X[0])
+	}
+}
+
+func TestBimodalDetected(t *testing.T) {
+	left := normalSample(300, -4, 0.5, 5)
+	right := normalSample(300, 4, 0.5, 6)
+	k, _ := New(append(left, right...), 0)
+	dLeft := k.Density(-4)
+	dMid := k.Density(0)
+	dRight := k.Density(4)
+	if dMid >= dLeft || dMid >= dRight {
+		t.Errorf("valley should be lower: left=%v mid=%v right=%v", dLeft, dMid, dRight)
+	}
+}
+
+func TestWiderSpreadMeansFlatteredDensity(t *testing.T) {
+	narrow, _ := New(normalSample(500, 0, 0.5, 7), 0)
+	wide, _ := New(normalSample(500, 0, 3, 8), 0)
+	if narrow.Density(0) <= wide.Density(0) {
+		t.Error("narrow distribution should peak higher at its mean")
+	}
+}
+
+func TestDensityNonNegativeProperty(t *testing.T) {
+	sample := normalSample(200, 0, 1, 9)
+	k, _ := New(sample, 0)
+	check := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		d := k.Density(math.Mod(x, 100))
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleAndTwoPointSamples(t *testing.T) {
+	k, err := New([]float64{5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := k.Density(5); d <= 0 {
+		t.Errorf("single-point density at point: %v", d)
+	}
+	k2, _ := New([]float64{1, 9}, 0)
+	if d := k2.Density(1); d <= 0 {
+		t.Errorf("two-point: %v", d)
+	}
+}

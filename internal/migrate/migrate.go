@@ -1,0 +1,335 @@
+// Package migrate implements the daily data-migration process that
+// synchronises the RDBMS with the Distributed Storage (paper §3.3: "The
+// data synchronization between the RDBMS and the Distributed Storage is
+// made through a daily data migration process").
+//
+// Tables are exported as self-describing JSON-lines files: the first line
+// carries the schema, each following line one row. Import recreates the
+// table (including the schema) in any database, which is how the warehouse
+// history is replayed into analytics jobs.
+package migrate
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/rdbms"
+)
+
+// ErrFormat is returned for malformed warehouse files.
+var ErrFormat = errors.New("migrate: bad warehouse file format")
+
+// fileSchema is the header line of a warehouse file.
+type fileSchema struct {
+	Table string       `json:"table"`
+	PK    string       `json:"pk"`
+	Cols  []fileColumn `json:"cols"`
+}
+
+type fileColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Null bool   `json:"null"`
+}
+
+func typeName(t rdbms.Type) string {
+	switch t {
+	case rdbms.TInt:
+		return "int"
+	case rdbms.TFloat:
+		return "float"
+	case rdbms.TString:
+		return "string"
+	case rdbms.TBool:
+		return "bool"
+	case rdbms.TTime:
+		return "time"
+	default:
+		return "unknown"
+	}
+}
+
+func parseType(s string) (rdbms.Type, error) {
+	switch s {
+	case "int":
+		return rdbms.TInt, nil
+	case "float":
+		return rdbms.TFloat, nil
+	case "string":
+		return rdbms.TString, nil
+	case "bool":
+		return rdbms.TBool, nil
+	case "time":
+		return rdbms.TTime, nil
+	default:
+		return 0, fmt.Errorf("type %q: %w", s, ErrFormat)
+	}
+}
+
+// encodeValue maps a Value to its JSON representation.
+func encodeValue(v rdbms.Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case rdbms.TInt:
+		return v.Int()
+	case rdbms.TFloat:
+		return v.Float()
+	case rdbms.TString:
+		return v.Str()
+	case rdbms.TBool:
+		return v.Bool()
+	case rdbms.TTime:
+		return v.Time().Format(time.RFC3339Nano)
+	default:
+		return nil
+	}
+}
+
+// decodeValue parses a JSON value back per column type.
+func decodeValue(raw any, t rdbms.Type) (rdbms.Value, error) {
+	if raw == nil {
+		return rdbms.Null(), nil
+	}
+	switch t {
+	case rdbms.TInt:
+		f, ok := raw.(float64)
+		if !ok {
+			return rdbms.Value{}, ErrFormat
+		}
+		return rdbms.Int(int64(f)), nil
+	case rdbms.TFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return rdbms.Value{}, ErrFormat
+		}
+		return rdbms.Float(f), nil
+	case rdbms.TString:
+		s, ok := raw.(string)
+		if !ok {
+			return rdbms.Value{}, ErrFormat
+		}
+		return rdbms.String(s), nil
+	case rdbms.TBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return rdbms.Value{}, ErrFormat
+		}
+		return rdbms.Bool(b), nil
+	case rdbms.TTime:
+		s, ok := raw.(string)
+		if !ok {
+			return rdbms.Value{}, ErrFormat
+		}
+		ts, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return rdbms.Value{}, fmt.Errorf("%v: %w", err, ErrFormat)
+		}
+		return rdbms.Time(ts), nil
+	default:
+		return rdbms.Value{}, ErrFormat
+	}
+}
+
+// DefaultBufferSize is the write-batch size Export pushes to the
+// distributed storage (bytes). Larger batches mean fewer, bigger writes
+// through the DFS block pipeline.
+const DefaultBufferSize = 64 << 10
+
+// Export writes a table snapshot to the cluster as path with the default
+// write batch. It returns the number of exported rows.
+func Export(table *rdbms.Table, cluster *dfs.Cluster, path string) (int, error) {
+	return ExportBuffered(table, cluster, path, DefaultBufferSize)
+}
+
+// ExportBuffered is Export with an explicit write-batch size in bytes —
+// the knob behind the migration batch-size ablation. Sizes below one row
+// degenerate to one DFS write per row.
+func ExportBuffered(table *rdbms.Table, cluster *dfs.Cluster, path string, bufSize int) (int, error) {
+	return exportRows(table, cluster, path, bufSize, func(fn func(rdbms.Row) bool) error {
+		table.Scan(fn)
+		return nil
+	})
+}
+
+// ExportRange writes only the rows whose `col` value lies in [lo, hi]
+// (inclusive; the column needs an ordered index) — the incremental
+// migration path: instead of re-snapshotting the whole table every day,
+// only the day's slice is exported.
+func ExportRange(table *rdbms.Table, cluster *dfs.Cluster, path, col string, lo, hi rdbms.Value) (int, error) {
+	return exportRows(table, cluster, path, DefaultBufferSize, func(fn func(rdbms.Row) bool) error {
+		return table.Range(col, &lo, &hi, fn)
+	})
+}
+
+// exportRows writes the schema header plus every row produced by iterate.
+func exportRows(table *rdbms.Table, cluster *dfs.Cluster, path string, bufSize int,
+	iterate func(func(rdbms.Row) bool) error) (int, error) {
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
+	w, err := cluster.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(w, bufSize)
+
+	schema := table.Schema()
+	fs := fileSchema{Table: table.Name(), PK: schema.Cols[schema.PK].Name}
+	for _, c := range schema.Cols {
+		fs.Cols = append(fs.Cols, fileColumn{Name: c.Name, Type: typeName(c.Type), Null: !c.NotNull})
+	}
+	header, err := json.Marshal(fs)
+	if err != nil {
+		return 0, err
+	}
+	bw.Write(header)
+	bw.WriteByte('\n')
+
+	rows := 0
+	var encodeErr error
+	iterErr := iterate(func(r rdbms.Row) bool {
+		vals := make([]any, len(r))
+		for i, v := range r {
+			vals[i] = encodeValue(v)
+		}
+		line, err := json.Marshal(vals)
+		if err != nil {
+			encodeErr = err
+			return false
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+		rows++
+		return true
+	})
+	if iterErr != nil {
+		return rows, iterErr
+	}
+	if encodeErr != nil {
+		return rows, encodeErr
+	}
+	if err := bw.Flush(); err != nil {
+		return rows, err
+	}
+	return rows, w.Close()
+}
+
+// Import reads a warehouse file into db, creating the table named in the
+// file header (with the serialised schema) if it does not exist. It
+// returns the number of imported rows.
+func Import(db *rdbms.DB, cluster *dfs.Cluster, path string) (int, error) {
+	data, err := cluster.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	scanner := bufio.NewScanner(bytes.NewReader(data))
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	if !scanner.Scan() {
+		return 0, fmt.Errorf("missing header: %w", ErrFormat)
+	}
+	var fs fileSchema
+	if err := json.Unmarshal(scanner.Bytes(), &fs); err != nil {
+		return 0, fmt.Errorf("%v: %w", err, ErrFormat)
+	}
+	cols := make([]rdbms.Column, 0, len(fs.Cols))
+	for _, fc := range fs.Cols {
+		t, err := parseType(fc.Type)
+		if err != nil {
+			return 0, err
+		}
+		cols = append(cols, rdbms.Column{Name: fc.Name, Type: t, NotNull: !fc.Null})
+	}
+	schema, err := rdbms.NewSchema(cols, fs.PK)
+	if err != nil {
+		return 0, err
+	}
+	table, err := db.Table(fs.Table)
+	if err != nil {
+		table, err = db.CreateTable(fs.Table, schema)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	rows := 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var vals []any
+		if err := json.Unmarshal(line, &vals); err != nil {
+			return rows, fmt.Errorf("row %d: %v: %w", rows, err, ErrFormat)
+		}
+		if len(vals) != len(cols) {
+			return rows, fmt.Errorf("row %d arity: %w", rows, ErrFormat)
+		}
+		row := make(rdbms.Row, len(vals))
+		for i, raw := range vals {
+			v, err := decodeValue(raw, cols[i].Type)
+			if err != nil {
+				return rows, fmt.Errorf("row %d col %d: %w", rows, i, err)
+			}
+			row[i] = v
+		}
+		if err := table.Upsert(row); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	if err := scanner.Err(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+// Job runs the daily migration: every named table is exported under
+// warehouse/<date>/<table>.jsonl.
+type Job struct {
+	// DB is the source database.
+	DB *rdbms.DB
+	// Cluster is the destination distributed storage.
+	Cluster *dfs.Cluster
+	// Tables are the tables to export.
+	Tables []string
+	// Prefix is the warehouse path prefix (default "warehouse").
+	Prefix string
+}
+
+// Run exports every table for the given snapshot date; returns total rows.
+// An already-exported snapshot (same date) returns dfs.ErrExists.
+func (j *Job) Run(date time.Time) (int, error) {
+	prefix := j.Prefix
+	if prefix == "" {
+		prefix = "warehouse"
+	}
+	total := 0
+	for _, name := range j.Tables {
+		table, err := j.DB.Table(name)
+		if err != nil {
+			return total, err
+		}
+		path := fmt.Sprintf("%s/%s/%s.jsonl", prefix, date.UTC().Format("2006-01-02"), name)
+		n, err := Export(table, j.Cluster, path)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// SnapshotPath returns the warehouse path of one table snapshot.
+func SnapshotPath(prefix string, date time.Time, table string) string {
+	if prefix == "" {
+		prefix = "warehouse"
+	}
+	return fmt.Sprintf("%s/%s/%s.jsonl", prefix, date.UTC().Format("2006-01-02"), table)
+}

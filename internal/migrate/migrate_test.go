@@ -1,0 +1,267 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/rdbms"
+)
+
+func sourceTable(t *testing.T, rows int) (*rdbms.DB, *rdbms.Table) {
+	t.Helper()
+	db := rdbms.NewDB()
+	schema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TInt},
+		{Name: "outlet", Type: rdbms.TString, NotNull: true},
+		{Name: "score", Type: rdbms.TFloat},
+		{Name: "published", Type: rdbms.TTime},
+		{Name: "reviewed", Type: rdbms.TBool},
+		{Name: "note", Type: rdbms.TString},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := db.CreateTable("articles", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2020, 2, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		note := rdbms.String(fmt.Sprintf("note-%d", i))
+		if i%3 == 0 {
+			note = rdbms.Null()
+		}
+		row := rdbms.Row{
+			rdbms.Int(int64(i)), rdbms.String(fmt.Sprintf("outlet-%d", i%5)),
+			rdbms.Float(float64(i) / 10), rdbms.Time(base.Add(time.Duration(i) * time.Hour)),
+			rdbms.Bool(i%2 == 0), note,
+		}
+		if _, err := table.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, table
+}
+
+func newCluster(t *testing.T) *dfs.Cluster {
+	t.Helper()
+	c, err := dfs.NewCluster(dfs.Config{DataNodes: 3, BlockSize: 512, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	_, table := sourceTable(t, 50)
+	cluster := newCluster(t)
+	n, err := Export(table, cluster, "warehouse/test/articles.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("exported: %d", n)
+	}
+
+	dst := rdbms.NewDB()
+	m, err := Import(dst, cluster, "warehouse/test/articles.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 50 {
+		t.Errorf("imported: %d", m)
+	}
+	imported, err := dst.Table("articles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Len() != 50 {
+		t.Errorf("rows: %d", imported.Len())
+	}
+	// Spot-check values and types.
+	row, err := imported.Get(rdbms.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1].Str() != "outlet-2" {
+		t.Errorf("outlet: %v", row[1])
+	}
+	if row[2].Float() != 0.7 {
+		t.Errorf("score: %v", row[2])
+	}
+	want := time.Date(2020, 2, 1, 19, 0, 0, 0, time.UTC)
+	if !row[3].Time().Equal(want) {
+		t.Errorf("time: %v", row[3].Time())
+	}
+	if row[4].Bool() {
+		t.Errorf("bool: %v", row[4])
+	}
+	// Null round trip (id 6 is %3==0).
+	row, _ = imported.Get(rdbms.Int(6))
+	if !row[5].IsNull() {
+		t.Errorf("null note: %v", row[5])
+	}
+}
+
+func TestImportUpsertsExisting(t *testing.T) {
+	db, table := sourceTable(t, 10)
+	cluster := newCluster(t)
+	if _, err := Export(table, cluster, "snap.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-import into the same db: upserts, no duplicates.
+	if _, err := Import(db, cluster, "snap.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 10 {
+		t.Errorf("rows after re-import: %d", table.Len())
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cluster := newCluster(t)
+	db := rdbms.NewDB()
+	if _, err := Import(db, cluster, "missing.jsonl"); !errors.Is(err, dfs.ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+	cluster.WriteFile("empty.jsonl", nil)
+	if _, err := Import(db, cluster, "empty.jsonl"); !errors.Is(err, ErrFormat) {
+		t.Errorf("empty: %v", err)
+	}
+	cluster.WriteFile("badheader.jsonl", []byte("{not json\n"))
+	if _, err := Import(db, cluster, "badheader.jsonl"); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad header: %v", err)
+	}
+	cluster.WriteFile("badrow.jsonl",
+		[]byte(`{"table":"t","pk":"id","cols":[{"name":"id","type":"int"}]}`+"\n[true]\n"))
+	if _, err := Import(db, cluster, "badrow.jsonl"); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad row: %v", err)
+	}
+	cluster.WriteFile("badtype.jsonl",
+		[]byte(`{"table":"t2","pk":"id","cols":[{"name":"id","type":"alien"}]}`+"\n"))
+	if _, err := Import(db, cluster, "badtype.jsonl"); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad type: %v", err)
+	}
+	cluster.WriteFile("arity.jsonl",
+		[]byte(`{"table":"t3","pk":"id","cols":[{"name":"id","type":"int"}]}`+"\n[1,2]\n"))
+	if _, err := Import(db, cluster, "arity.jsonl"); !errors.Is(err, ErrFormat) {
+		t.Errorf("arity: %v", err)
+	}
+}
+
+func TestDailyJob(t *testing.T) {
+	db, _ := sourceTable(t, 25)
+	cluster := newCluster(t)
+	job := &Job{DB: db, Cluster: cluster, Tables: []string{"articles"}}
+	date := time.Date(2020, 2, 10, 3, 0, 0, 0, time.UTC)
+	n, err := job.Run(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("migrated: %d", n)
+	}
+	want := "warehouse/2020-02-10/articles.jsonl"
+	if got := SnapshotPath("", date, "articles"); got != want {
+		t.Errorf("path: %q", got)
+	}
+	if _, err := cluster.Stat(want); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+	// Same-day re-run collides (snapshots are immutable).
+	if _, err := job.Run(date); !errors.Is(err, dfs.ErrExists) {
+		t.Errorf("re-run: %v", err)
+	}
+	// Next day succeeds.
+	if _, err := job.Run(date.AddDate(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if files := cluster.List("warehouse/"); len(files) != 2 {
+		t.Errorf("warehouse files: %v", files)
+	}
+	// Unknown table.
+	bad := &Job{DB: db, Cluster: cluster, Tables: []string{"ghost"}}
+	if _, err := bad.Run(date); !errors.Is(err, rdbms.ErrNotFound) {
+		t.Errorf("unknown table: %v", err)
+	}
+}
+
+func TestExportLargeValuesAcrossBlocks(t *testing.T) {
+	// Rows bigger than the DFS block size must split and reassemble.
+	db := rdbms.NewDB()
+	schema, _ := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TInt},
+		{Name: "blob", Type: rdbms.TString},
+	}, "id")
+	table, _ := db.CreateTable("big", schema)
+	big := make([]byte, 4000)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	table.Insert(rdbms.Row{rdbms.Int(1), rdbms.String(string(big))})
+	cluster := newCluster(t) // 512-byte blocks
+	if _, err := Export(table, cluster, "big.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	dst := rdbms.NewDB()
+	if _, err := Import(dst, cluster, "big.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := dst.Table("big")
+	row, err := tbl.Get(rdbms.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1].Str() != string(big) {
+		t.Error("large value corrupted across blocks")
+	}
+}
+
+func TestExportRangeSliceAndUnion(t *testing.T) {
+	_, table := sourceTable(t, 200) // scores 0.0 .. 19.9
+	cluster := newCluster(t)
+	if err := table.CreateIndex("score", rdbms.OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two adjacent slices must partition the table.
+	n1, err := ExportRange(table, cluster, "inc/low.jsonl", "score", rdbms.Float(0), rdbms.Float(9.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ExportRange(table, cluster, "inc/high.jsonl", "score", rdbms.Float(9.96), rdbms.Float(1e18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != table.Len() {
+		t.Errorf("slices cover %d+%d of %d rows", n1, n2, table.Len())
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Errorf("degenerate split: %d/%d", n1, n2)
+	}
+
+	target := rdbms.NewDB()
+	for _, path := range []string{"inc/low.jsonl", "inc/high.jsonl"} {
+		if _, err := Import(target, cluster, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imported, err := target.Table(table.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Len() != table.Len() {
+		t.Errorf("union: %d of %d rows", imported.Len(), table.Len())
+	}
+}
+
+func TestExportRangeRequiresOrderedIndex(t *testing.T) {
+	_, table := sourceTable(t, 10)
+	cluster := newCluster(t)
+	if _, err := ExportRange(table, cluster, "inc/x.jsonl", "score", rdbms.Float(0), rdbms.Float(1)); err == nil {
+		t.Error("range export without ordered index should fail")
+	}
+}

@@ -1,0 +1,191 @@
+package mlcore
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrLengthMismatch is returned when prediction and label slices differ in
+// length.
+var ErrLengthMismatch = errors.New("mlcore: prediction/label length mismatch")
+
+// ConfusionMatrix counts binary-classification outcomes.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion tabulates predictions against gold labels.
+func Confusion(pred, gold []bool) (ConfusionMatrix, error) {
+	var m ConfusionMatrix
+	if len(pred) != len(gold) {
+		return m, ErrLengthMismatch
+	}
+	for i := range pred {
+		switch {
+		case pred[i] && gold[i]:
+			m.TP++
+		case pred[i] && !gold[i]:
+			m.FP++
+		case !pred[i] && gold[i]:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	return m, nil
+}
+
+// Accuracy returns (TP+TN)/total, 0 for the empty matrix.
+func (m ConfusionMatrix) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (m ConfusionMatrix) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (m ConfusionMatrix) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when undefined.
+func (m ConfusionMatrix) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AUC computes the area under the ROC curve from scores and binary labels
+// using the rank statistic (ties get average rank). Returns 0.5 when one
+// class is absent.
+func AUC(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, ErrLengthMismatch
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks over ties.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var pos, sumPos float64
+	for i, l := range labels {
+		if l {
+			pos++
+			sumPos += ranks[i]
+		}
+	}
+	neg := float64(n) - pos
+	if pos == 0 || neg == 0 {
+		return 0.5, nil
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg), nil
+}
+
+// TrainTestSplit shuffles indices 0..n-1 with the given rng and splits them
+// so that test receives ceil(n*testFrac) items. testFrac is clamped to
+// [0, 1].
+func TrainTestSplit(n int, testFrac float64, rng *rand.Rand) (train, test []int) {
+	if testFrac < 0 {
+		testFrac = 0
+	}
+	if testFrac > 1 {
+		testFrac = 1
+	}
+	idx := rng.Perm(n)
+	cut := int(math.Ceil(float64(n) * testFrac))
+	return idx[cut:], idx[:cut]
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance, 0 for fewer than 2 items.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median, 0 for empty input. The input is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}

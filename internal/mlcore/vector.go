@@ -1,0 +1,158 @@
+// Package mlcore provides the machine-learning primitives shared by the
+// SciLens model zoo: sparse and dense vectors, a TF-IDF vectoriser, feature
+// hashing, dataset splitting and evaluation metrics.
+package mlcore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SparseVector is a feature-index → value map. The zero value is an empty
+// (all-zero) vector.
+type SparseVector map[int]float64
+
+// Dot returns the dot product of two sparse vectors. It iterates the
+// smaller operand for efficiency.
+func (v SparseVector) Dot(w SparseVector) float64 {
+	a, b := v, w
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	sum := 0.0
+	for i, x := range a {
+		if y, ok := b[i]; ok {
+			sum += x * y
+		}
+	}
+	return sum
+}
+
+// DotDense returns the dot product of the sparse vector with a dense weight
+// slice; indices beyond len(w) contribute zero.
+func (v SparseVector) DotDense(w []float64) float64 {
+	sum := 0.0
+	for i, x := range v {
+		if i >= 0 && i < len(w) {
+			sum += x * w[i]
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm.
+func (v SparseVector) Norm() float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Scale multiplies every component in place and returns the receiver.
+func (v SparseVector) Scale(k float64) SparseVector {
+	for i := range v {
+		v[i] *= k
+	}
+	return v
+}
+
+// Add accumulates w into v (v += k*w) and returns v.
+func (v SparseVector) Add(w SparseVector, k float64) SparseVector {
+	for i, x := range w {
+		v[i] += k * x
+	}
+	return v
+}
+
+// L2Normalize scales v to unit norm in place (no-op for the zero vector)
+// and returns v.
+func (v SparseVector) L2Normalize() SparseVector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Cosine returns the cosine similarity of two sparse vectors, 0 when either
+// is zero.
+func Cosine(a, b SparseVector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// Clone returns a deep copy of the vector.
+func (v SparseVector) Clone() SparseVector {
+	out := make(SparseVector, len(v))
+	for i, x := range v {
+		out[i] = x
+	}
+	return out
+}
+
+// TopK returns the k indices with the largest values, descending. Ties
+// break on index for determinism.
+func (v SparseVector) TopK(k int) []int {
+	type pair struct {
+		idx int
+		val float64
+	}
+	pairs := make([]pair, 0, len(v))
+	for i, x := range v {
+		pairs = append(pairs, pair{i, x})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].val != pairs[j].val {
+			return pairs[i].val > pairs[j].val
+		}
+		return pairs[i].idx < pairs[j].idx
+	})
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = pairs[i].idx
+	}
+	return out
+}
+
+// String renders the vector with indices sorted, for stable test output.
+func (v SparseVector) String() string {
+	idx := make([]int, 0, len(v))
+	for i := range v {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	s := "{"
+	for n, i := range idx {
+		if n > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%.4g", i, v[i])
+	}
+	return s + "}"
+}
+
+// DenseAdd adds k*src into dst element-wise; slices must be equal length.
+func DenseAdd(dst, src []float64, k float64) {
+	for i := range src {
+		dst[i] += k * src[i]
+	}
+}
+
+// EuclideanDistance returns the L2 distance between two equal-length dense
+// vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,86 @@
+package rdbms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DB is a named collection of tables plus an optional write-ahead log.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	wal    *WAL
+}
+
+// NewDB creates an empty database without a WAL.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// NewDBWithWAL creates a database whose mutations are appended to wal.
+func NewDBWithWAL(wal *WAL) *DB {
+	db := NewDB()
+	db.wal = wal
+	return db
+}
+
+// CreateTable adds a table with the given schema.
+func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty table name: %w", ErrSchema)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("table %q: %w", name, ErrExists)
+	}
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		pkIdx:   newHashIdx(),
+		indexes: make(map[string]index),
+		wal:     db.wal,
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: %w", name, ErrNotFound)
+	}
+	return t, nil
+}
+
+// DropTable removes the named table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("table %q: %w", name, ErrNotFound)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// TableNames returns the table names (unordered).
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Begin starts a transaction. SciLens transactions are latch-based:
+// the transaction takes no locks until each operation executes, operations
+// apply immediately, and Rollback undoes them via the undo log. This gives
+// atomicity for the single-writer ingestion path, which is what the
+// platform needs (readers are never blocked for the whole transaction).
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db}
+}

@@ -1,0 +1,223 @@
+package rdbms
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// IndexKind selects the index data structure.
+type IndexKind uint8
+
+// Index kinds.
+const (
+	// HashIndex supports O(1) equality lookups.
+	HashIndex IndexKind = iota
+	// OrderedIndex supports range scans (skip list).
+	OrderedIndex
+)
+
+// index is the internal interface both index kinds implement. Row ids are
+// heap slot numbers.
+type index interface {
+	insert(v Value, rowID int)
+	remove(v Value, rowID int)
+	lookup(v Value) []int
+	// scanRange calls fn for each (value, rowID) with lo <= value <= hi,
+	// ascending; nil bounds are open. Only ordered indexes support it.
+	scanRange(lo, hi *Value, fn func(v Value, rowID int) bool) error
+	kind() IndexKind
+}
+
+// hashIdx is an equality index: value hash key → set of row ids.
+type hashIdx struct {
+	m map[string]map[int]struct{}
+}
+
+func newHashIdx() *hashIdx { return &hashIdx{m: make(map[string]map[int]struct{})} }
+
+func (h *hashIdx) kind() IndexKind { return HashIndex }
+
+func (h *hashIdx) insert(v Value, rowID int) {
+	k := v.hashKey()
+	set, ok := h.m[k]
+	if !ok {
+		set = make(map[int]struct{})
+		h.m[k] = set
+	}
+	set[rowID] = struct{}{}
+}
+
+func (h *hashIdx) remove(v Value, rowID int) {
+	k := v.hashKey()
+	if set, ok := h.m[k]; ok {
+		delete(set, rowID)
+		if len(set) == 0 {
+			delete(h.m, k)
+		}
+	}
+}
+
+func (h *hashIdx) lookup(v Value) []int {
+	set := h.m[v.hashKey()]
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (h *hashIdx) scanRange(lo, hi *Value, fn func(Value, int) bool) error {
+	return ErrTypeMismatch // hash indexes cannot range-scan
+}
+
+// skipNode is one node of the skip list backing OrderedIndex. Duplicate
+// values are allowed; each (value, rowID) pair is one node.
+type skipNode struct {
+	val   Value
+	rowID int
+	next  []*skipNode
+}
+
+const maxSkipLevel = 24
+
+// skipIdx is an ordered index implemented as a skip list keyed by
+// (value, rowID).
+type skipIdx struct {
+	head  *skipNode
+	level int
+	rng   *rand.Rand
+	mu    sync.Mutex // protects rng only; structural locks live in Table
+	size  int
+}
+
+func newSkipIdx(seed int64) *skipIdx {
+	return &skipIdx{
+		head:  &skipNode{next: make([]*skipNode, maxSkipLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skipIdx) kind() IndexKind { return OrderedIndex }
+
+// less orders by (value, rowID).
+func less(av Value, aID int, bv Value, bID int) bool {
+	c, err := av.Compare(bv)
+	if err != nil {
+		// Mixed kinds should be prevented by schema validation; order by
+		// kind as a total-order fallback.
+		return av.Kind() < bv.Kind()
+	}
+	if c != 0 {
+		return c < 0
+	}
+	return aID < bID
+}
+
+func (s *skipIdx) randomLevel() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lvl := 1
+	for lvl < maxSkipLevel && s.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func (s *skipIdx) insert(v Value, rowID int) {
+	update := make([]*skipNode, maxSkipLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].val, x.next[i].rowID, v, rowID) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{val: v, rowID: rowID, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.size++
+}
+
+func (s *skipIdx) remove(v Value, rowID int) {
+	update := make([]*skipNode, maxSkipLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].val, x.next[i].rowID, v, rowID) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	target := x.next[0]
+	if target == nil || target.rowID != rowID || !target.val.Equal(v) {
+		return
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+}
+
+func (s *skipIdx) lookup(v Value) []int {
+	var out []int
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].val, -1<<62, v, -1<<62) {
+			x = x.next[i]
+		}
+	}
+	for x = x.next[0]; x != nil; x = x.next[0] {
+		c, err := x.val.Compare(v)
+		if err != nil || c > 0 {
+			break
+		}
+		if c == 0 {
+			out = append(out, x.rowID)
+		}
+	}
+	return out
+}
+
+func (s *skipIdx) scanRange(lo, hi *Value, fn func(Value, int) bool) error {
+	x := s.head
+	if lo != nil {
+		for i := s.level - 1; i >= 0; i-- {
+			for x.next[i] != nil && less(x.next[i].val, -1<<62, *lo, -1<<62) {
+				x = x.next[i]
+			}
+		}
+	}
+	for x = x.next[0]; x != nil; x = x.next[0] {
+		if lo != nil {
+			if c, err := x.val.Compare(*lo); err == nil && c < 0 {
+				continue
+			}
+		}
+		if hi != nil {
+			if c, err := x.val.Compare(*hi); err == nil && c > 0 {
+				break
+			}
+		}
+		if !fn(x.val, x.rowID) {
+			break
+		}
+	}
+	return nil
+}
+
+// Len returns the number of entries in the skip list.
+func (s *skipIdx) Len() int { return s.size }

@@ -1,0 +1,344 @@
+package rdbms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a predicate comparison operator.
+type Op uint8
+
+// Predicate operators.
+const (
+	// Eq matches values equal to the operand.
+	Eq Op = iota
+	// Ne matches values not equal to the operand.
+	Ne
+	// Lt matches values less than the operand.
+	Lt
+	// Le matches values less than or equal to the operand.
+	Le
+	// Gt matches values greater than the operand.
+	Gt
+	// Ge matches values greater than or equal to the operand.
+	Ge
+)
+
+type predicate struct {
+	col int
+	op  Op
+	val Value
+}
+
+func (p predicate) matches(r Row) bool {
+	v := r[p.col]
+	if p.op == Eq {
+		return v.Equal(p.val)
+	}
+	if p.op == Ne {
+		return !v.Equal(p.val)
+	}
+	c, err := v.Compare(p.val)
+	if err != nil {
+		return false
+	}
+	switch p.op {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// Query is a fluent typed query over one table. Build with Table.Query,
+// chain Where/OrderBy/Limit, and execute with Rows, Count or Aggregate.
+// The executor uses a secondary index for the first Eq predicate on an
+// indexed column; everything else falls back to a heap scan.
+type Query struct {
+	t       *Table
+	preds   []predicate
+	orderBy int
+	desc    bool
+	ordered bool
+	limit   int
+	err     error
+}
+
+// Query starts a query on the table.
+func (t *Table) Query() *Query { return &Query{t: t, limit: -1} }
+
+// Where adds a predicate; unknown columns poison the query (reported at
+// execution).
+func (q *Query) Where(col string, op Op, val Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	ci, err := q.t.schema.ColIndex(col)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.preds = append(q.preds, predicate{col: ci, op: op, val: val})
+	return q
+}
+
+// OrderBy sorts results by the named column.
+func (q *Query) OrderBy(col string, desc bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	ci, err := q.t.schema.ColIndex(col)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.orderBy = ci
+	q.desc = desc
+	q.ordered = true
+	return q
+}
+
+// Limit caps the number of returned rows (after ordering).
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// Rows executes the query and returns matching rows.
+func (q *Query) Rows() ([]Row, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	var out []Row
+	collect := func(r Row) bool {
+		for _, p := range q.preds {
+			if !p.matches(r) {
+				return true // keep scanning
+			}
+		}
+		out = append(out, r)
+		// Early exit only when no ordering requested.
+		if !q.ordered && q.limit >= 0 && len(out) >= q.limit {
+			return false
+		}
+		return true
+	}
+
+	if idx, pred := q.pickIndex(); idx != "" {
+		rows, err := q.t.LookupEq(idx, pred.val)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if !collect(r) {
+				break
+			}
+		}
+	} else if col, lo, hi := q.pickRange(); col != "" {
+		// Bounds are inclusive and every predicate is re-checked in
+		// collect, so strict (Lt/Gt) operators only over-scan the
+		// boundary values.
+		if err := q.t.Range(col, lo, hi, collect); err != nil {
+			return nil, err
+		}
+	} else {
+		q.t.Scan(collect)
+	}
+
+	if q.ordered {
+		ob := q.orderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			c, err := out[i][ob].Compare(out[j][ob])
+			if err != nil {
+				return false
+			}
+			if q.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if q.limit >= 0 && len(out) > q.limit {
+		out = out[:q.limit]
+	}
+	return out, nil
+}
+
+// pickIndex returns the column name and predicate of the first Eq predicate
+// on an indexed column, or "".
+func (q *Query) pickIndex() (string, predicate) {
+	for _, p := range q.preds {
+		if p.op != Eq {
+			continue
+		}
+		name := q.t.schema.Cols[p.col].Name
+		if q.t.HasIndex(name) {
+			return name, p
+		}
+	}
+	return "", predicate{}
+}
+
+// pickRange returns the column name and inclusive bounds of the best
+// range-scannable predicate set: inequality predicates on a column with an
+// ordered index. A column bounded on both sides beats a half-open one.
+func (q *Query) pickRange() (string, *Value, *Value) {
+	type bounds struct{ lo, hi *Value }
+	perCol := map[int]*bounds{}
+	order := []int{}
+	for _, p := range q.preds {
+		var lo, hi *Value
+		switch p.op {
+		case Gt, Ge:
+			v := p.val
+			lo = &v
+		case Lt, Le:
+			v := p.val
+			hi = &v
+		default:
+			continue
+		}
+		name := q.t.schema.Cols[p.col].Name
+		if kind, ok := q.t.IndexKindOf(name); !ok || kind != OrderedIndex {
+			continue
+		}
+		b, ok := perCol[p.col]
+		if !ok {
+			b = &bounds{}
+			perCol[p.col] = b
+			order = append(order, p.col)
+		}
+		// Tighten: keep the largest lo and the smallest hi.
+		if lo != nil && (b.lo == nil || mustCompare(*lo, *b.lo) > 0) {
+			b.lo = lo
+		}
+		if hi != nil && (b.hi == nil || mustCompare(*hi, *b.hi) < 0) {
+			b.hi = hi
+		}
+	}
+	best := -1
+	for _, ci := range order {
+		b := perCol[ci]
+		if b.lo != nil && b.hi != nil {
+			best = ci
+			break
+		}
+		if best < 0 {
+			best = ci
+		}
+	}
+	if best < 0 {
+		return "", nil, nil
+	}
+	b := perCol[best]
+	return q.t.schema.Cols[best].Name, b.lo, b.hi
+}
+
+// mustCompare compares two values of the same column type; incomparable
+// pairs (prevented by schema validation) order as equal.
+func mustCompare(a, b Value) int {
+	c, err := a.Compare(b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// Explain reports the access path the executor would choose: "index(col)",
+// "range(col)" or "scan". It mirrors the planning in Rows exactly.
+func (q *Query) Explain() string {
+	if q.err != nil {
+		return "error"
+	}
+	if idx, _ := q.pickIndex(); idx != "" {
+		return "index(" + idx + ")"
+	}
+	if col, _, _ := q.pickRange(); col != "" {
+		return "range(" + col + ")"
+	}
+	return "scan"
+}
+
+// Count executes the query and returns the number of matches.
+func (q *Query) Count() (int, error) {
+	rows, err := q.Rows()
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// AggregateResult holds one aggregation group.
+type AggregateResult struct {
+	// Key is the group key (the grouped column's value).
+	Key Value
+	// Count is the number of rows in the group.
+	Count int
+	// Sum is the sum of the aggregated column over the group (numeric
+	// columns only; NULLs skipped).
+	Sum float64
+}
+
+// Avg returns Sum / Count (0 for empty groups).
+func (a AggregateResult) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// GroupBy executes the query grouping by groupCol, summing sumCol (pass ""
+// to only count). Results are ordered by group key ascending.
+func (q *Query) GroupBy(groupCol, sumCol string) ([]AggregateResult, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	gi, err := q.t.schema.ColIndex(groupCol)
+	if err != nil {
+		return nil, err
+	}
+	si := -1
+	if sumCol != "" {
+		si, err = q.t.schema.ColIndex(sumCol)
+		if err != nil {
+			return nil, err
+		}
+		switch q.t.schema.Cols[si].Type {
+		case TInt, TFloat:
+		default:
+			return nil, fmt.Errorf("sum column %q not numeric: %w", sumCol, ErrTypeMismatch)
+		}
+	}
+	rows, err := q.Rows()
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string]*AggregateResult)
+	for _, r := range rows {
+		key := r[gi]
+		hk := key.hashKey()
+		g, ok := groups[hk]
+		if !ok {
+			g = &AggregateResult{Key: key}
+			groups[hk] = g
+		}
+		g.Count++
+		if si >= 0 && !r[si].IsNull() {
+			g.Sum += r[si].Float()
+		}
+	}
+	out := make([]AggregateResult, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		c, err := out[i].Key.Compare(out[j].Key)
+		return err == nil && c < 0
+	})
+	return out, nil
+}

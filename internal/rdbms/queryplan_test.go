@@ -1,0 +1,196 @@
+package rdbms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// planTable builds a 500-row table with an ordered index on score and a
+// hash index on outlet, plus an index-free clone holding identical rows
+// (the forced-scan reference for equivalence tests).
+func planTable(t *testing.T) (indexed, bare *Table) {
+	t.Helper()
+	db := NewDB()
+	indexed, err := db.CreateTable("articles", articleSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err = db.CreateTable("articles_bare", articleSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := int64(0); i < 500; i++ {
+		outlet := "outlet-" + string(rune('a'+rng.Intn(5)))
+		row := articleRow(i, outlet, "t", rng.Float64()*100)
+		if _, err := indexed.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bare.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := indexed.CreateIndex("score", OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	if err := indexed.CreateIndex("outlet", HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	return indexed, bare
+}
+
+func TestExplainAccessPaths(t *testing.T) {
+	tbl, _ := planTable(t)
+	cases := []struct {
+		build func() *Query
+		want  string
+	}{
+		{func() *Query { return tbl.Query() }, "scan"},
+		{func() *Query { return tbl.Query().Where("title", Eq, String("t")) }, "scan"},
+		{func() *Query { return tbl.Query().Where("outlet", Eq, String("outlet-a")) }, "index(outlet)"},
+		{func() *Query { return tbl.Query().Where("score", Gt, Float(10)) }, "range(score)"},
+		{func() *Query { return tbl.Query().Where("score", Le, Float(90)) }, "range(score)"},
+		// Eq on an indexed column beats a range.
+		{func() *Query {
+			return tbl.Query().Where("score", Gt, Float(10)).Where("outlet", Eq, String("outlet-b"))
+		}, "index(outlet)"},
+		// Inequality on a hash-indexed column cannot range-scan.
+		{func() *Query { return tbl.Query().Where("outlet", Gt, String("outlet-a")) }, "scan"},
+		{func() *Query { return tbl.Query().Where("ghost", Eq, Int(1)) }, "error"},
+	}
+	for i, c := range cases {
+		if got := c.build().Explain(); got != c.want {
+			t.Errorf("case %d: plan %q want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestRangePlanMatchesScan(t *testing.T) {
+	tbl, bare := planTable(t)
+	type bound struct {
+		op  Op
+		val float64
+	}
+	cases := [][]bound{
+		{{Gt, 25}},
+		{{Ge, 25}},
+		{{Lt, 75}},
+		{{Le, 75}},
+		{{Gt, 25}, {Lt, 75}},
+		{{Ge, 30}, {Le, 30.0001}},
+		{{Gt, 99.999}},
+		{{Lt, 0.0001}},
+		{{Gt, 40}, {Gt, 60}, {Lt, 80}}, // redundant bounds tighten
+	}
+	for i, preds := range cases {
+		ranged := tbl.Query()
+		for _, p := range preds {
+			ranged = ranged.Where("score", p.op, Float(p.val))
+		}
+		if plan := ranged.Explain(); plan != "range(score)" {
+			t.Fatalf("case %d: plan %q", i, plan)
+		}
+		got, err := ranged.OrderBy("id", false).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: the same predicates through a forced scan on the
+		// index-free clone.
+		reference := bare.Query()
+		for _, p := range preds {
+			reference = reference.Where("score", p.op, Float(p.val))
+		}
+		if plan := reference.Explain(); plan != "scan" {
+			t.Fatalf("case %d: reference plan %q", i, plan)
+		}
+		want, err := reference.OrderBy("id", false).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d rows vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if !got[j][0].Equal(want[j][0]) {
+				t.Errorf("case %d row %d: %v vs %v", i, j, got[j][0], want[j][0])
+			}
+		}
+	}
+}
+
+func TestRangePlanPropertyEquivalence(t *testing.T) {
+	tbl, bare := planTable(t)
+	f := func(rawLo, rawHi float64, strictLo, strictHi bool) bool {
+		lo := mod100(rawLo)
+		hi := mod100(rawHi)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		opLo, opHi := Ge, Le
+		if strictLo {
+			opLo = Gt
+		}
+		if strictHi {
+			opHi = Lt
+		}
+		ranged := tbl.Query().Where("score", opLo, Float(lo)).Where("score", opHi, Float(hi))
+		scanned := bare.Query().Where("score", opLo, Float(lo)).Where("score", opHi, Float(hi))
+		a, err1 := ranged.Count()
+		b, err2 := scanned.Count()
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod100(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 100 {
+		x /= 10
+	}
+	return x
+}
+
+func TestRangePlanWithLimitAndOrder(t *testing.T) {
+	tbl, _ := planTable(t)
+	rows, err := tbl.Query().
+		Where("score", Ge, Float(50)).
+		OrderBy("score", true).
+		Limit(5).
+		Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][3].Float() > rows[i-1][3].Float() {
+			t.Errorf("not descending at %d", i)
+		}
+	}
+	for _, r := range rows {
+		if r[3].Float() < 50 {
+			t.Errorf("bound violated: %v", r[3])
+		}
+	}
+}
+
+func TestIndexKindOf(t *testing.T) {
+	tbl, _ := planTable(t)
+	if kind, ok := tbl.IndexKindOf("score"); !ok || kind != OrderedIndex {
+		t.Errorf("score: %v %v", kind, ok)
+	}
+	if kind, ok := tbl.IndexKindOf("outlet"); !ok || kind != HashIndex {
+		t.Errorf("outlet: %v %v", kind, ok)
+	}
+	if _, ok := tbl.IndexKindOf("title"); ok {
+		t.Error("title should have no index")
+	}
+}

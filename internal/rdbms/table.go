@@ -1,0 +1,274 @@
+package rdbms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is a heap-organised table with a primary-key hash index and
+// optional secondary indexes. All methods are safe for concurrent use.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	heap    []Row // slot id -> row; nil = deleted slot
+	free    []int // recycled slots
+	pkIdx   *hashIdx
+	indexes map[string]index // column name -> secondary index
+	rows    int
+
+	wal     *WAL // optional; set by DB
+	idxSeed int64
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// CreateIndex adds a secondary index on the named column. Indexing an
+// already-indexed column returns ErrExists. Existing rows are indexed
+// immediately.
+func (t *Table) CreateIndex(col string, kind IndexKind) error {
+	ci, err := t.schema.ColIndex(col)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[col]; dup {
+		return fmt.Errorf("index on %q: %w", col, ErrExists)
+	}
+	var idx index
+	switch kind {
+	case HashIndex:
+		idx = newHashIdx()
+	case OrderedIndex:
+		t.idxSeed++
+		idx = newSkipIdx(t.idxSeed)
+	default:
+		return fmt.Errorf("unknown index kind %d: %w", kind, ErrSchema)
+	}
+	for slot, row := range t.heap {
+		if row != nil {
+			idx.insert(row[ci], slot)
+		}
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the column has a secondary index.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// IndexKindOf reports the kind of the secondary index on col, and whether
+// one exists.
+func (t *Table) IndexKindOf(col string) (IndexKind, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return 0, false
+	}
+	return idx.kind(), true
+}
+
+// Insert adds a row; the primary key must be unique. It returns the heap
+// slot id.
+func (t *Table) Insert(r Row) (int, error) {
+	if err := t.schema.Validate(r); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(r, true)
+}
+
+func (t *Table) insertLocked(r Row, logWAL bool) (int, error) {
+	pk := r[t.schema.PK]
+	if ids := t.pkIdx.lookup(pk); len(ids) > 0 {
+		return 0, fmt.Errorf("pk %v: %w", pk, ErrDuplicate)
+	}
+	r = r.Clone()
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.heap[slot] = r
+	} else {
+		slot = len(t.heap)
+		t.heap = append(t.heap, r)
+	}
+	t.pkIdx.insert(pk, slot)
+	for col, idx := range t.indexes {
+		ci, _ := t.schema.ColIndex(col)
+		idx.insert(r[ci], slot)
+	}
+	t.rows++
+	if logWAL && t.wal != nil {
+		t.wal.append(walRecord{Op: walInsert, Table: t.name, Row: r})
+	}
+	return slot, nil
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk Value) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := t.pkIdx.lookup(pk)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	return t.heap[ids[0]].Clone(), nil
+}
+
+// Update replaces the row with the given primary key. The new row keeps
+// the same primary key value or moves to a new, unused one.
+func (t *Table) Update(pk Value, r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.updateLocked(pk, r, true)
+}
+
+func (t *Table) updateLocked(pk Value, r Row, logWAL bool) error {
+	ids := t.pkIdx.lookup(pk)
+	if len(ids) == 0 {
+		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	slot := ids[0]
+	newPK := r[t.schema.PK]
+	if !newPK.Equal(pk) {
+		if dup := t.pkIdx.lookup(newPK); len(dup) > 0 {
+			return fmt.Errorf("pk %v: %w", newPK, ErrDuplicate)
+		}
+	}
+	old := t.heap[slot]
+	r = r.Clone()
+	// Refresh secondary indexes for changed columns.
+	for col, idx := range t.indexes {
+		ci, _ := t.schema.ColIndex(col)
+		if !old[ci].Equal(r[ci]) {
+			idx.remove(old[ci], slot)
+			idx.insert(r[ci], slot)
+		}
+	}
+	if !newPK.Equal(pk) {
+		t.pkIdx.remove(pk, slot)
+		t.pkIdx.insert(newPK, slot)
+	}
+	t.heap[slot] = r
+	if logWAL && t.wal != nil {
+		t.wal.append(walRecord{Op: walUpdate, Table: t.name, Key: pk, Row: r})
+	}
+	return nil
+}
+
+// Delete removes the row with the given primary key.
+func (t *Table) Delete(pk Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(pk, true)
+}
+
+func (t *Table) deleteLocked(pk Value, logWAL bool) error {
+	ids := t.pkIdx.lookup(pk)
+	if len(ids) == 0 {
+		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	slot := ids[0]
+	old := t.heap[slot]
+	t.pkIdx.remove(pk, slot)
+	for col, idx := range t.indexes {
+		ci, _ := t.schema.ColIndex(col)
+		idx.remove(old[ci], slot)
+	}
+	t.heap[slot] = nil
+	t.free = append(t.free, slot)
+	t.rows--
+	if logWAL && t.wal != nil {
+		t.wal.append(walRecord{Op: walDelete, Table: t.name, Key: pk})
+	}
+	return nil
+}
+
+// Upsert inserts the row, or updates it if the primary key exists.
+func (t *Table) Upsert(r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pk := r[t.schema.PK]
+	if ids := t.pkIdx.lookup(pk); len(ids) > 0 {
+		return t.updateLocked(pk, r, true)
+	}
+	_, err := t.insertLocked(r, true)
+	return err
+}
+
+// Scan calls fn for every live row (clone). Returning false stops the scan.
+// The iteration order is heap order, not key order.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, row := range t.heap {
+		if row == nil {
+			continue
+		}
+		if !fn(row.Clone()) {
+			return
+		}
+	}
+}
+
+// LookupEq returns all rows whose indexed column equals v. The column must
+// have a secondary index (either kind); otherwise ErrNotFound.
+func (t *Table) LookupEq(col string, v Value) ([]Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("no index on %q: %w", col, ErrNotFound)
+	}
+	ids := idx.lookup(v)
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, t.heap[id].Clone())
+	}
+	return out, nil
+}
+
+// Range calls fn for every row whose indexed column lies in [lo, hi]
+// (inclusive, nil = open), ascending by that column. The column must have
+// an ordered index.
+func (t *Table) Range(col string, lo, hi *Value, fn func(Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return fmt.Errorf("no index on %q: %w", col, ErrNotFound)
+	}
+	if idx.kind() != OrderedIndex {
+		return fmt.Errorf("index on %q is not ordered: %w", col, ErrTypeMismatch)
+	}
+	return idx.scanRange(lo, hi, func(_ Value, rowID int) bool {
+		return fn(t.heap[rowID].Clone())
+	})
+}

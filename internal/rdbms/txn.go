@@ -1,0 +1,122 @@
+package rdbms
+
+import "fmt"
+
+// undoOp records how to reverse one applied mutation.
+type undoOp struct {
+	table *Table
+	// kind: 0 = undo insert (delete pk), 1 = undo update (restore old row
+	// under old pk), 2 = undo delete (re-insert old row).
+	kind int
+	pk   Value
+	old  Row
+}
+
+// Txn is a database transaction. Operations apply immediately to the
+// underlying tables; Rollback reverses them in LIFO order via the undo
+// log. Commit seals the transaction (and marks the WAL).
+//
+// Txn is not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	db     *DB
+	undo   []undoOp
+	closed bool
+}
+
+// Insert adds a row to the named table within the transaction.
+func (tx *Txn) Insert(table string, r Row) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	if _, err := t.Insert(r); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{table: t, kind: 0, pk: r[t.schema.PK]})
+	return nil
+}
+
+// Update replaces a row within the transaction.
+func (tx *Txn) Update(table string, pk Value, r Row) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, err := t.Get(pk)
+	if err != nil {
+		return err
+	}
+	if err := t.Update(pk, r); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{table: t, kind: 1, pk: r[t.schema.PK], old: old})
+	return nil
+}
+
+// Delete removes a row within the transaction.
+func (tx *Txn) Delete(table string, pk Value) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, err := t.Get(pk)
+	if err != nil {
+		return err
+	}
+	if err := t.Delete(pk); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{table: t, kind: 2, pk: pk, old: old})
+	return nil
+}
+
+// Commit seals the transaction. Further operations fail with ErrClosed.
+func (tx *Txn) Commit() error {
+	if tx.closed {
+		return ErrClosed
+	}
+	tx.closed = true
+	if tx.db.wal != nil && len(tx.undo) > 0 {
+		tx.db.wal.append(walRecord{Op: walCommit})
+	}
+	tx.undo = nil
+	return nil
+}
+
+// Rollback undoes every operation of the transaction in reverse order.
+func (tx *Txn) Rollback() error {
+	if tx.closed {
+		return ErrClosed
+	}
+	tx.closed = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		op := tx.undo[i]
+		var err error
+		switch op.kind {
+		case 0:
+			err = op.table.Delete(op.pk)
+		case 1:
+			// Restore under the *new* pk (op.pk), moving back to old pk.
+			err = op.table.Update(op.pk, op.old)
+		case 2:
+			_, err = op.table.Insert(op.old)
+		}
+		if err != nil {
+			return fmt.Errorf("rollback step %d: %w", i, err)
+		}
+	}
+	tx.undo = nil
+	return nil
+}
+
+// Pending returns the number of operations awaiting commit/rollback.
+func (tx *Txn) Pending() int { return len(tx.undo) }

@@ -1,0 +1,241 @@
+// Package rdbms implements the embedded relational engine behind the
+// SciLens real-time path (paper §3.3, "Data Collection and Storage"). It
+// provides typed schemas, heap tables, hash and ordered secondary indexes,
+// latch-based transactions with rollback, a write-ahead log with replay,
+// and a small typed query layer (filter/project/order/aggregate).
+//
+// The engine is a faithful miniature of what the platform needs from its
+// RDBMS: indexed point and range access for the interactive path and
+// transactional upserts from the streaming pipeline.
+package rdbms
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Type enumerates column types.
+type Type uint8
+
+// Column types.
+const (
+	// TInt is a 64-bit signed integer.
+	TInt Type = iota
+	// TFloat is a 64-bit float.
+	TFloat
+	// TString is a UTF-8 string.
+	TString
+	// TBool is a boolean.
+	TBool
+	// TTime is a timestamp with nanosecond precision.
+	TTime
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "TEXT"
+	case TBool:
+		return "BOOL"
+	case TTime:
+		return "TIMESTAMP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Value is a dynamically typed cell. The zero Value is NULL.
+type Value struct {
+	kind    Type
+	null    bool
+	i       int64
+	f       float64
+	s       string
+	b       bool
+	t       time.Time
+	present bool // false => NULL
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{kind: TInt, i: v, present: true} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{kind: TFloat, f: v, present: true} }
+
+// String wraps a string.
+func String(v string) Value { return Value{kind: TString, s: v, present: true} }
+
+// Bool wraps a bool.
+func Bool(v bool) Value { return Value{kind: TBool, b: v, present: true} }
+
+// Time wraps a time.Time (stored UTC).
+func Time(v time.Time) Value { return Value{kind: TTime, t: v.UTC(), present: true} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return !v.present }
+
+// Kind returns the value's type; meaningless for NULL.
+func (v Value) Kind() Type { return v.kind }
+
+// Int returns the integer payload (0 if not an int).
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload, converting ints.
+func (v Value) Float() float64 {
+	if v.kind == TInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload ("" if not a string).
+func (v Value) Str() string { return v.s }
+
+// Bool returns the bool payload (false if not a bool).
+func (v Value) Bool() bool { return v.b }
+
+// Time returns the time payload (zero time if not a timestamp).
+func (v Value) Time() time.Time { return v.t }
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.kind {
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TString:
+		return strconv.Quote(v.s)
+	case TBool:
+		return strconv.FormatBool(v.b)
+	case TTime:
+		return v.t.Format(time.RFC3339Nano)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality; NULL equals only NULL.
+func (v Value) Equal(w Value) bool {
+	if v.IsNull() || w.IsNull() {
+		return v.IsNull() && w.IsNull()
+	}
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case TInt:
+		return v.i == w.i
+	case TFloat:
+		return v.f == w.f
+	case TString:
+		return v.s == w.s
+	case TBool:
+		return v.b == w.b
+	case TTime:
+		return v.t.Equal(w.t)
+	}
+	return false
+}
+
+// Compare orders two values of the same kind: -1, 0, +1. NULL sorts before
+// everything. Comparing mismatched kinds returns an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.IsNull() || w.IsNull() {
+		switch {
+		case v.IsNull() && w.IsNull():
+			return 0, nil
+		case v.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("rdbms: comparing %v with %v: %w", v.kind, w.kind, ErrTypeMismatch)
+	}
+	switch v.kind {
+	case TInt:
+		return cmpOrdered(v.i, w.i), nil
+	case TFloat:
+		return cmpOrdered(v.f, w.f), nil
+	case TString:
+		return cmpOrdered(v.s, w.s), nil
+	case TBool:
+		vi, wi := 0, 0
+		if v.b {
+			vi = 1
+		}
+		if w.b {
+			wi = 1
+		}
+		return cmpOrdered(vi, wi), nil
+	case TTime:
+		switch {
+		case v.t.Before(w.t):
+			return -1, nil
+		case v.t.After(w.t):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, ErrTypeMismatch
+}
+
+func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// hashKey returns a map-key representation of the value for hash indexes.
+func (v Value) hashKey() string {
+	if v.IsNull() {
+		return "\x00null"
+	}
+	switch v.kind {
+	case TInt:
+		return "i" + strconv.FormatInt(v.i, 36)
+	case TFloat:
+		return "f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	case TString:
+		return "s" + v.s
+	case TBool:
+		if v.b {
+			return "b1"
+		}
+		return "b0"
+	case TTime:
+		return "t" + strconv.FormatInt(v.t.UnixNano(), 36)
+	default:
+		return "?"
+	}
+}
+
+// Row is one table row: values in schema column order.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

@@ -1,0 +1,293 @@
+package rdbms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// WAL op codes.
+const (
+	walInsert byte = iota + 1
+	walUpdate
+	walDelete
+	walCommit
+)
+
+// ErrCorrupt is returned when WAL replay encounters an undecodable record.
+var ErrCorrupt = errors.New("rdbms: corrupt WAL")
+
+// walRecord is one log record. Insert carries Row; Update carries Key (the
+// old pk) and Row; Delete carries Key; Commit carries nothing.
+type walRecord struct {
+	Op    byte
+	Table string
+	Key   Value
+	Row   Row
+}
+
+// WAL is a write-ahead log: every table mutation is appended as a binary
+// record before the call returns. Replay restores a database from the log.
+// The WAL is safe for concurrent appends.
+type WAL struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	records int
+	bytes   int64
+}
+
+// NewWAL wraps a writer (file, buffer, pipe) as a WAL sink.
+func NewWAL(w io.Writer) *WAL {
+	return &WAL{w: bufio.NewWriter(w)}
+}
+
+// Records returns the number of records appended so far.
+func (l *WAL) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Bytes returns the number of bytes written so far.
+func (l *WAL) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Flush drains the internal buffer to the sink.
+func (l *WAL) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+func (l *WAL) append(rec walRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := writeRecord(l.w, rec)
+	l.records++
+	l.bytes += int64(n)
+}
+
+// writeRecord encodes one record; returns bytes written. Write errors on an
+// in-memory buffer cannot occur; on real files the bufio layer reports them
+// at Flush.
+func writeRecord(w *bufio.Writer, rec walRecord) int {
+	n := 0
+	w.WriteByte(rec.Op)
+	n++
+	n += writeString(w, rec.Table)
+	switch rec.Op {
+	case walInsert:
+		n += writeRow(w, rec.Row)
+	case walUpdate:
+		n += writeValue(w, rec.Key)
+		n += writeRow(w, rec.Row)
+	case walDelete:
+		n += writeValue(w, rec.Key)
+	}
+	return n
+}
+
+func writeString(w *bufio.Writer, s string) int {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(s)))
+	w.Write(buf[:k])
+	w.WriteString(s)
+	return k + len(s)
+}
+
+func writeRow(w *bufio.Writer, r Row) int {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(r)))
+	w.Write(buf[:k])
+	n := k
+	for _, v := range r {
+		n += writeValue(w, v)
+	}
+	return n
+}
+
+func writeValue(w *bufio.Writer, v Value) int {
+	if v.IsNull() {
+		w.WriteByte(0xFF)
+		return 1
+	}
+	w.WriteByte(byte(v.kind))
+	n := 1
+	var buf [8]byte
+	switch v.kind {
+	case TInt:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
+		w.Write(buf[:])
+		n += 8
+	case TFloat:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		w.Write(buf[:])
+		n += 8
+	case TString:
+		n += writeString(w, v.s)
+	case TBool:
+		if v.b {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+		n++
+	case TTime:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.t.UnixNano()))
+		w.Write(buf[:])
+		n += 8
+	}
+	return n
+}
+
+// readRecord decodes one record; io.EOF at a record boundary means a clean
+// end of log.
+func readRecord(r *bufio.Reader) (walRecord, error) {
+	op, err := r.ReadByte()
+	if err != nil {
+		return walRecord{}, err // io.EOF at boundary is clean
+	}
+	rec := walRecord{Op: op}
+	if op < walInsert || op > walCommit {
+		return rec, fmt.Errorf("bad op %d: %w", op, ErrCorrupt)
+	}
+	rec.Table, err = readString(r)
+	if err != nil {
+		return rec, fmt.Errorf("table: %w", ErrCorrupt)
+	}
+	switch op {
+	case walInsert:
+		rec.Row, err = readRow(r)
+	case walUpdate:
+		rec.Key, err = readValue(r)
+		if err == nil {
+			rec.Row, err = readRow(r)
+		}
+	case walDelete:
+		rec.Key, err = readValue(r)
+	}
+	if err != nil {
+		return rec, fmt.Errorf("payload: %w", ErrCorrupt)
+	}
+	return rec, nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", ErrCorrupt
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readRow(r *bufio.Reader) (Row, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	row := make(Row, n)
+	for i := range row {
+		row[i], err = readValue(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return row, nil
+}
+
+func readValue(r *bufio.Reader) (Value, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	if kind == 0xFF {
+		return Null(), nil
+	}
+	var buf [8]byte
+	switch Type(kind) {
+	case TInt:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return Int(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+	case TFloat:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case TString:
+		s, err := readString(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return String(s), nil
+	case TBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(b == 1), nil
+	case TTime:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return Time(time.Unix(0, int64(binary.LittleEndian.Uint64(buf[:]))).UTC()), nil
+	default:
+		return Value{}, ErrCorrupt
+	}
+}
+
+// Replay applies a serialised WAL to db. Tables must already exist with
+// matching schemas (the WAL logs data, not DDL). Replay applies records in
+// order; it stops cleanly at EOF and returns the number of records applied.
+func Replay(db *DB, r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	applied := 0
+	for {
+		rec, err := readRecord(br)
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		if rec.Op == walCommit {
+			applied++
+			continue
+		}
+		t, err := db.Table(rec.Table)
+		if err != nil {
+			return applied, fmt.Errorf("replay: %w", err)
+		}
+		switch rec.Op {
+		case walInsert:
+			_, err = t.Insert(rec.Row)
+		case walUpdate:
+			err = t.Update(rec.Key, rec.Row)
+		case walDelete:
+			err = t.Delete(rec.Key)
+		}
+		if err != nil {
+			return applied, fmt.Errorf("replay %d: %w", applied, err)
+		}
+		applied++
+	}
+}

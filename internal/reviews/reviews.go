@@ -1,0 +1,276 @@
+// Package reviews implements the expert-review subsystem of paper §3.2:
+// domain experts annotate articles on seven criteria using a Likert scale
+// (1 = very low quality .. 5 = very high quality), optionally attach
+// free-text reviews, and the system displays a weighted, time-sensitive
+// average per criterion — recent reviews and more reputable reviewers
+// weigh more.
+package reviews
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Criterion is one of the seven review criteria (the list used by
+// fact-checking portals like ScienceFeedback, per the paper).
+type Criterion uint8
+
+// The seven criteria, in paper order.
+const (
+	// FactualAccuracy: are the claims factually correct?
+	FactualAccuracy Criterion = iota
+	// ScientificUnderstanding: does the article understand the science?
+	ScientificUnderstanding
+	// LogicReasoning: is the argumentation sound?
+	LogicReasoning
+	// PrecisionClarity: is the writing precise and clear?
+	PrecisionClarity
+	// SourcesQuality: are the cited sources appropriate?
+	SourcesQuality
+	// Fairness: is the coverage fair and balanced?
+	Fairness
+	// Clickbaitness: does the title oversell the content? (reverse-coded:
+	// 5 = not clickbait at all.)
+	Clickbaitness
+
+	// NumCriteria is the number of criteria.
+	NumCriteria = 7
+)
+
+// String returns the criterion label.
+func (c Criterion) String() string {
+	switch c {
+	case FactualAccuracy:
+		return "factual-accuracy"
+	case ScientificUnderstanding:
+		return "scientific-understanding"
+	case LogicReasoning:
+		return "logic-reasoning"
+	case PrecisionClarity:
+		return "precision-clarity"
+	case SourcesQuality:
+		return "sources-quality"
+	case Fairness:
+		return "fairness"
+	case Clickbaitness:
+		return "clickbaitness"
+	default:
+		return "unknown"
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrBadScore is returned for Likert scores outside 1..5.
+	ErrBadScore = errors.New("reviews: score outside Likert range 1..5")
+	// ErrNotFound is returned for unknown articles or reviews.
+	ErrNotFound = errors.New("reviews: not found")
+	// ErrIncomplete is returned when a review does not score all criteria.
+	ErrIncomplete = errors.New("reviews: all seven criteria required")
+)
+
+// Review is one expert's annotation of one article.
+type Review struct {
+	// ID is assigned by the store.
+	ID int64
+	// ArticleID identifies the reviewed article.
+	ArticleID string
+	// Reviewer identifies the expert.
+	Reviewer string
+	// Scores holds the Likert score (1..5) per criterion.
+	Scores [NumCriteria]int
+	// Text is the optional free-text review.
+	Text string
+	// Time is when the review was submitted.
+	Time time.Time
+	// ReviewerWeight scales this reviewer's influence (default 1).
+	ReviewerWeight float64
+}
+
+// Validate checks the Likert ranges.
+func (r *Review) Validate() error {
+	for c, s := range r.Scores {
+		if s < 1 || s > 5 {
+			return fmt.Errorf("criterion %v score %d: %w", Criterion(c), s, ErrBadScore)
+		}
+	}
+	return nil
+}
+
+// Mean returns the unweighted mean over the seven criteria.
+func (r *Review) Mean() float64 {
+	sum := 0
+	for _, s := range r.Scores {
+		sum += s
+	}
+	return float64(sum) / NumCriteria
+}
+
+// Aggregate is the weighted, time-sensitive summary of an article's
+// reviews (paper §3.2).
+type Aggregate struct {
+	// PerCriterion is the weighted average score (1..5) per criterion.
+	PerCriterion [NumCriteria]float64
+	// Overall is the mean of the per-criterion averages.
+	Overall float64
+	// Count is the number of reviews aggregated.
+	Count int
+	// Texts are the free-text reviews, newest first.
+	Texts []string
+}
+
+// Store keeps reviews and computes aggregates. Safe for concurrent use.
+type Store struct {
+	// HalfLife is the review-weight half-life: a review this old counts
+	// half as much as a fresh one. Defaults to 30 days.
+	HalfLife time.Duration
+
+	mu      sync.RWMutex
+	nextID  int64
+	byID    map[int64]*Review
+	byArt   map[string][]int64
+	byRater map[string][]int64
+}
+
+// NewStore returns an empty store with the default 30-day half-life.
+func NewStore() *Store {
+	return &Store{
+		HalfLife: 30 * 24 * time.Hour,
+		byID:     make(map[int64]*Review),
+		byArt:    make(map[string][]int64),
+		byRater:  make(map[string][]int64),
+	}
+}
+
+// Submit validates and stores a review, returning its assigned ID.
+func (s *Store) Submit(r Review) (int64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if r.ArticleID == "" || r.Reviewer == "" {
+		return 0, fmt.Errorf("article and reviewer required: %w", ErrIncomplete)
+	}
+	if r.ReviewerWeight <= 0 {
+		r.ReviewerWeight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	r.ID = s.nextID
+	cp := r
+	s.byID[r.ID] = &cp
+	s.byArt[r.ArticleID] = append(s.byArt[r.ArticleID], r.ID)
+	s.byRater[r.Reviewer] = append(s.byRater[r.Reviewer], r.ID)
+	return r.ID, nil
+}
+
+// Get returns a review by ID.
+func (s *Store) Get(id int64) (Review, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return Review{}, fmt.Errorf("review %d: %w", id, ErrNotFound)
+	}
+	return *r, nil
+}
+
+// ForArticle returns an article's reviews, oldest first.
+func (s *Store) ForArticle(articleID string) []Review {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byArt[articleID]
+	out := make([]Review, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *s.byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// ByReviewer returns a reviewer's reviews, oldest first.
+func (s *Store) ByReviewer(reviewer string) []Review {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byRater[reviewer]
+	out := make([]Review, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *s.byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Count returns the total number of stored reviews.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// AggregateAt computes the weighted, time-sensitive aggregate for an
+// article as of time now. Review weight = ReviewerWeight *
+// 2^(-age/HalfLife); future-dated reviews count as fresh.
+func (s *Store) AggregateAt(articleID string, now time.Time) (Aggregate, error) {
+	reviews := s.ForArticle(articleID)
+	if len(reviews) == 0 {
+		return Aggregate{}, fmt.Errorf("article %q: %w", articleID, ErrNotFound)
+	}
+	var agg Aggregate
+	agg.Count = len(reviews)
+	var weightSum float64
+	var weighted [NumCriteria]float64
+	for _, r := range reviews {
+		age := now.Sub(r.Time)
+		if age < 0 {
+			age = 0
+		}
+		w := r.ReviewerWeight * math.Exp2(-age.Hours()/s.HalfLife.Hours())
+		weightSum += w
+		for c, score := range r.Scores {
+			weighted[c] += w * float64(score)
+		}
+		if r.Text != "" {
+			agg.Texts = append(agg.Texts, r.Text)
+		}
+	}
+	if weightSum == 0 {
+		weightSum = 1
+	}
+	var total float64
+	for c := range weighted {
+		agg.PerCriterion[c] = weighted[c] / weightSum
+		total += agg.PerCriterion[c]
+	}
+	agg.Overall = total / NumCriteria
+	// Newest first for the texts.
+	for i, j := 0, len(agg.Texts)-1; i < j; i, j = i+1, j-1 {
+		agg.Texts[i], agg.Texts[j] = agg.Texts[j], agg.Texts[i]
+	}
+	return agg, nil
+}
+
+// OutletQuality averages the Overall aggregate over an outlet's reviewed
+// articles — the expert-review path for outlet quality ranking (paper
+// §3.3: "the quality of an outlet is either computed using the expert
+// reviews or imported from external sources").
+func (s *Store) OutletQuality(articleIDs []string, now time.Time) (float64, int) {
+	var sum float64
+	var n int
+	for _, id := range articleIDs {
+		agg, err := s.AggregateAt(id, now)
+		if err != nil {
+			continue
+		}
+		sum += agg.Overall
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

@@ -1,0 +1,236 @@
+package reviews
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var day0 = time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+
+func validReview(article, reviewer string, score int, at time.Time) Review {
+	r := Review{ArticleID: article, Reviewer: reviewer, Time: at}
+	for c := range r.Scores {
+		r.Scores[c] = score
+	}
+	return r
+}
+
+func TestSubmitAndGet(t *testing.T) {
+	s := NewStore()
+	id, err := s.Submit(validReview("a1", "dr-smith", 4, day0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ArticleID != "a1" || got.Scores[0] != 4 || got.ReviewerWeight != 1 {
+		t.Errorf("got %+v", got)
+	}
+	if _, err := s.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count: %d", s.Count())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := NewStore()
+	bad := validReview("a1", "r", 4, day0)
+	bad.Scores[3] = 6
+	if _, err := s.Submit(bad); !errors.Is(err, ErrBadScore) {
+		t.Errorf("high score: %v", err)
+	}
+	bad.Scores[3] = 0
+	if _, err := s.Submit(bad); !errors.Is(err, ErrBadScore) {
+		t.Errorf("zero score: %v", err)
+	}
+	if _, err := s.Submit(validReview("", "r", 3, day0)); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("missing article: %v", err)
+	}
+	if _, err := s.Submit(validReview("a", "", 3, day0)); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("missing reviewer: %v", err)
+	}
+}
+
+func TestReviewMean(t *testing.T) {
+	r := validReview("a", "r", 3, day0)
+	r.Scores[0] = 5
+	r.Scores[1] = 1
+	want := float64(5+1+3*5) / 7
+	if math.Abs(r.Mean()-want) > 1e-9 {
+		t.Errorf("mean: %v want %v", r.Mean(), want)
+	}
+}
+
+func TestAggregateSimpleAverage(t *testing.T) {
+	s := NewStore()
+	s.Submit(validReview("a1", "r1", 4, day0))
+	s.Submit(validReview("a1", "r2", 2, day0))
+	agg, err := s.AggregateAt("a1", day0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same time, same weight: plain mean 3.
+	for c, v := range agg.PerCriterion {
+		if math.Abs(v-3) > 1e-9 {
+			t.Errorf("criterion %d: %v", c, v)
+		}
+	}
+	if math.Abs(agg.Overall-3) > 1e-9 {
+		t.Errorf("overall: %v", agg.Overall)
+	}
+	if agg.Count != 2 {
+		t.Errorf("count: %d", agg.Count)
+	}
+}
+
+func TestAggregateTimeDecay(t *testing.T) {
+	s := NewStore() // 30-day half-life
+	s.Submit(validReview("a1", "old", 5, day0))
+	s.Submit(validReview("a1", "new", 1, day0.AddDate(0, 0, 30)))
+	// At day 30: old review has weight 0.5, new has 1 → (5*0.5 + 1*1)/1.5.
+	agg, err := s.AggregateAt("a1", day0.AddDate(0, 0, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (5*0.5 + 1*1) / 1.5
+	if math.Abs(agg.Overall-want) > 1e-9 {
+		t.Errorf("decayed overall: %v want %v", agg.Overall, want)
+	}
+	// Much later both are stale but ratio stays: weights 2^-k and 2^-(k-1).
+	agg, _ = s.AggregateAt("a1", day0.AddDate(0, 0, 300))
+	if math.Abs(agg.Overall-want) > 1e-6 {
+		t.Errorf("stale ratio overall: %v want %v", agg.Overall, want)
+	}
+}
+
+func TestAggregateReviewerWeight(t *testing.T) {
+	s := NewStore()
+	heavy := validReview("a1", "prof", 5, day0)
+	heavy.ReviewerWeight = 3
+	s.Submit(heavy)
+	s.Submit(validReview("a1", "novice", 1, day0))
+	agg, _ := s.AggregateAt("a1", day0)
+	want := (5*3.0 + 1*1.0) / 4
+	if math.Abs(agg.Overall-want) > 1e-9 {
+		t.Errorf("weighted overall: %v want %v", agg.Overall, want)
+	}
+}
+
+func TestAggregateFutureReviewCountsFresh(t *testing.T) {
+	s := NewStore()
+	s.Submit(validReview("a1", "r", 4, day0.AddDate(0, 0, 10)))
+	agg, err := s.AggregateAt("a1", day0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg.Overall-4) > 1e-9 {
+		t.Errorf("future review: %v", agg.Overall)
+	}
+}
+
+func TestAggregateMissingArticle(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AggregateAt("ghost", day0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+}
+
+func TestFreeTextNewestFirst(t *testing.T) {
+	s := NewStore()
+	r1 := validReview("a1", "r1", 3, day0)
+	r1.Text = "older text"
+	r2 := validReview("a1", "r2", 3, day0.AddDate(0, 0, 1))
+	r2.Text = "newer text"
+	s.Submit(r1)
+	s.Submit(r2)
+	agg, _ := s.AggregateAt("a1", day0.AddDate(0, 0, 2))
+	if len(agg.Texts) != 2 || agg.Texts[0] != "newer text" {
+		t.Errorf("texts: %v", agg.Texts)
+	}
+}
+
+func TestForArticleAndByReviewerOrdering(t *testing.T) {
+	s := NewStore()
+	s.Submit(validReview("a1", "r1", 3, day0.AddDate(0, 0, 2)))
+	s.Submit(validReview("a1", "r2", 3, day0))
+	s.Submit(validReview("a2", "r1", 3, day0.AddDate(0, 0, 1)))
+	arts := s.ForArticle("a1")
+	if len(arts) != 2 || !arts[0].Time.Before(arts[1].Time) {
+		t.Errorf("article ordering: %+v", arts)
+	}
+	mine := s.ByReviewer("r1")
+	if len(mine) != 2 || !mine[0].Time.Before(mine[1].Time) {
+		t.Errorf("reviewer ordering: %+v", mine)
+	}
+	if got := s.ForArticle("ghost"); len(got) != 0 {
+		t.Errorf("ghost article: %v", got)
+	}
+}
+
+func TestOutletQuality(t *testing.T) {
+	s := NewStore()
+	s.Submit(validReview("a1", "r", 5, day0))
+	s.Submit(validReview("a2", "r", 3, day0))
+	q, n := s.OutletQuality([]string{"a1", "a2", "unreviewed"}, day0)
+	if n != 2 {
+		t.Errorf("n: %d", n)
+	}
+	if math.Abs(q-4) > 1e-9 {
+		t.Errorf("quality: %v", q)
+	}
+	q, n = s.OutletQuality(nil, day0)
+	if q != 0 || n != 0 {
+		t.Error("empty outlet")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	labels := map[Criterion]string{
+		FactualAccuracy: "factual-accuracy", ScientificUnderstanding: "scientific-understanding",
+		LogicReasoning: "logic-reasoning", PrecisionClarity: "precision-clarity",
+		SourcesQuality: "sources-quality", Fairness: "fairness",
+		Clickbaitness: "clickbaitness", Criterion(99): "unknown",
+	}
+	for c, want := range labels {
+		if c.String() != want {
+			t.Errorf("%d: %q", c, c.String())
+		}
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				article := fmt.Sprintf("a%d", i%5)
+				if _, err := s.Submit(validReview(article, fmt.Sprintf("r%d", w), 1+(i%5), day0)); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != 400 {
+		t.Errorf("count: %d", s.Count())
+	}
+	agg, err := s.AggregateAt("a0", day0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 80 {
+		t.Errorf("aggregate count: %d", agg.Count)
+	}
+}

@@ -1,0 +1,158 @@
+// Package socialind computes the social-media context indicators of paper
+// §3.1: reach (the impact of an article in a social platform, via its
+// reaction cascade) and stance (the positioning of users towards the
+// article: supportive, or questioning/contradicting).
+package socialind
+
+import (
+	"math"
+	"time"
+)
+
+// PostKind classifies social postings.
+type PostKind uint8
+
+// Post kinds.
+const (
+	// Original is the outlet's own posting sharing an article.
+	Original PostKind = iota
+	// Reply is a textual response to another post.
+	Reply
+	// Reshare re-broadcasts another post to the user's followers.
+	Reshare
+	// Like is a lightweight positive reaction.
+	Like
+)
+
+// String returns the kind label.
+func (k PostKind) String() string {
+	switch k {
+	case Original:
+		return "original"
+	case Reply:
+		return "reply"
+	case Reshare:
+		return "reshare"
+	case Like:
+		return "like"
+	default:
+		return "unknown"
+	}
+}
+
+// Post is one social-media posting or reaction.
+type Post struct {
+	// ID is the unique post id.
+	ID string
+	// ParentID is the post this one reacts to ("" for originals).
+	ParentID string
+	// Kind is the post kind.
+	Kind PostKind
+	// UserID identifies the author account.
+	UserID string
+	// Text is the body (empty for likes/reshares).
+	Text string
+	// Time is the posting time.
+	Time time.Time
+	// ArticleURL is the shared article (originals; propagated through the
+	// cascade by the analyzer).
+	ArticleURL string
+}
+
+// Reach quantifies the social impact of one article's discussion
+// (paper: "reach is measured through the proxy of social media
+// popularity").
+type Reach struct {
+	// Posts is the total cascade size including the original posting.
+	Posts int
+	// Reactions counts replies + reshares + likes (everything except the
+	// original).
+	Reactions int
+	// Replies, Reshares, Likes break Reactions down.
+	Replies, Reshares, Likes int
+	// UniqueUsers is the number of distinct accounts in the cascade.
+	UniqueUsers int
+	// MaxDepth is the deepest reaction chain (original = depth 0).
+	MaxDepth int
+	// Span is the time between the original and the last reaction.
+	Span time.Duration
+}
+
+// ComputeReach builds the reach summary for one cascade. The slice must
+// contain exactly one Original post; reactions whose parents are missing
+// count at depth 1.
+func ComputeReach(cascade []Post) Reach {
+	r := Reach{Posts: len(cascade)}
+	if len(cascade) == 0 {
+		return r
+	}
+	depth := make(map[string]int, len(cascade))
+	users := make(map[string]struct{}, len(cascade))
+	var rootTime, lastTime time.Time
+	// First pass: find the original.
+	for _, p := range cascade {
+		if p.Kind == Original {
+			depth[p.ID] = 0
+			rootTime = p.Time
+			lastTime = p.Time
+		}
+	}
+	// Iterate until depths stabilise (cascades are shallow; bounded loop).
+	for pass := 0; pass < 64; pass++ {
+		changed := false
+		for _, p := range cascade {
+			if p.Kind == Original {
+				continue
+			}
+			if _, done := depth[p.ID]; done {
+				continue
+			}
+			if d, ok := depth[p.ParentID]; ok {
+				depth[p.ID] = d + 1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, p := range cascade {
+		users[p.UserID] = struct{}{}
+		if p.Time.After(lastTime) {
+			lastTime = p.Time
+		}
+		switch p.Kind {
+		case Reply:
+			r.Replies++
+		case Reshare:
+			r.Reshares++
+		case Like:
+			r.Likes++
+		case Original:
+			continue
+		}
+		d, ok := depth[p.ID]
+		if !ok {
+			d = 1 // orphan: attach under the root
+		}
+		if d > r.MaxDepth {
+			r.MaxDepth = d
+		}
+	}
+	r.Reactions = r.Replies + r.Reshares + r.Likes
+	r.UniqueUsers = len(users)
+	if !rootTime.IsZero() {
+		r.Span = lastTime.Sub(rootTime)
+	}
+	return r
+}
+
+// PopularityScore maps reach onto [0, 1] with a log scale: 0 reactions →
+// 0, ~30 → 0.5, 1000+ → 1.
+func PopularityScore(r Reach) float64 {
+	score := math.Log10(1+float64(r.Reactions)) / 3 // log10(1001) ≈ 3
+	if score > 1 {
+		score = 1
+	}
+	return score
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestPerKeyOrderProperty verifies the broker's core delivery invariant
+// for arbitrary publish sequences: messages sharing a routing key are
+// consumed in publish order (they land in one partition, and partitions
+// are append-only logs). Cross-key order is unspecified.
+func TestPerKeyOrderProperty(t *testing.T) {
+	f := func(keys []uint8, partitions uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		nparts := int(partitions%7) + 1
+		b := NewBroker()
+		if err := b.CreateTopic("t", TopicConfig{Partitions: nparts, Capacity: len(keys) + 1}); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Publish: payload records (key, per-key sequence).
+		seq := map[uint8]int{}
+		for _, k := range keys {
+			payload := fmt.Sprintf("%d:%d", k, seq[k])
+			seq[k]++
+			if _, err := b.Publish("t", fmt.Sprintf("key-%d", k), []byte(payload)); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// Consume everything with one group.
+		c, err := b.Subscribe("t", "g")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer c.Close()
+		msgs, err := c.Poll(len(keys) * 2)
+		if err != nil || len(msgs) != len(keys) {
+			t.Logf("polled %d of %d (%v)", len(msgs), len(keys), err)
+			return false
+		}
+		// Per key, sequence numbers must arrive ascending.
+		next := map[string]int{}
+		for _, m := range msgs {
+			var k, s int
+			if _, err := fmt.Sscanf(string(m.Payload), "%d:%d", &k, &s); err != nil {
+				t.Log(err)
+				return false
+			}
+			key := fmt.Sprintf("key-%d", k)
+			if m.Key != key {
+				t.Logf("key mismatch: %q vs %q", m.Key, key)
+				return false
+			}
+			if s != next[key] {
+				t.Logf("key %s: got seq %d want %d", key, s, next[key])
+				return false
+			}
+			next[key]++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommitMonotoneProperty: redelivery after Reset never yields messages
+// from before the last commit, for arbitrary commit points.
+func TestCommitMonotoneProperty(t *testing.T) {
+	f := func(total, commitAt uint8) bool {
+		n := int(total%64) + 1
+		cut := int(commitAt) % (n + 1)
+		b := NewBroker()
+		if err := b.CreateTopic("t", TopicConfig{Partitions: 1, Capacity: n + 1}); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if _, err := b.Publish("t", "k", []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		c, err := b.Subscribe("t", "g")
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		first, err := c.Poll(cut)
+		if err != nil {
+			return false
+		}
+		if cut > 0 && len(first) == 0 {
+			return false
+		}
+		if err := c.Commit(); err != nil {
+			return false
+		}
+		if err := c.Reset(); err != nil { // crash after commit
+			return false
+		}
+		rest, err := c.Poll(n * 2)
+		if err != nil {
+			return false
+		}
+		if len(first)+len(rest) != n {
+			t.Logf("coverage: %d + %d != %d", len(first), len(rest), n)
+			return false
+		}
+		for i, m := range rest {
+			if int(m.Payload[0]) != len(first)+i {
+				t.Logf("redelivered wrong message: %d at %d", m.Payload[0], i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

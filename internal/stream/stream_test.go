@@ -1,0 +1,356 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTopicBroker(t *testing.T, parts, capacity int) *Broker {
+	t.Helper()
+	b := NewBroker()
+	if err := b.CreateTopic("postings", TopicConfig{Partitions: parts, Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCreateTopicValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("", TopicConfig{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty name: %v", err)
+	}
+	if err := b.CreateTopic("t", TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", TopicConfig{}); !errors.Is(err, ErrExists) {
+		t.Errorf("dup: %v", err)
+	}
+	if _, err := b.Publish("missing", "k", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing topic: %v", err)
+	}
+}
+
+func TestPublishPollCommit(t *testing.T) {
+	b := newTopicBroker(t, 2, 100)
+	for i := 0; i < 10; i++ {
+		if _, err := b.Publish("postings", fmt.Sprintf("outlet-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Subscribe("postings", "extractors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := c.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 10 {
+		t.Fatalf("polled: %d", len(msgs))
+	}
+	// Per-partition offsets are dense from 0.
+	seen := map[int][]int64{}
+	for _, m := range msgs {
+		seen[m.Partition] = append(seen[m.Partition], m.Offset)
+	}
+	for pi, offs := range seen {
+		for i, off := range offs {
+			if off != int64(i) {
+				t.Errorf("partition %d offsets: %v", pi, offs)
+			}
+		}
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing left.
+	msgs, _ = c.Poll(100)
+	if len(msgs) != 0 {
+		t.Errorf("after commit: %d", len(msgs))
+	}
+}
+
+func TestKeyRoutingIsSticky(t *testing.T) {
+	b := newTopicBroker(t, 4, 100)
+	for i := 0; i < 20; i++ {
+		b.Publish("postings", "same-outlet", nil)
+	}
+	c, _ := b.Subscribe("postings", "g")
+	msgs, _ := c.Poll(100)
+	if len(msgs) != 20 {
+		t.Fatalf("polled: %d", len(msgs))
+	}
+	part := msgs[0].Partition
+	for _, m := range msgs {
+		if m.Partition != part {
+			t.Fatal("same key should route to one partition")
+		}
+	}
+	// Messages for one key arrive in publish order.
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Offset != msgs[i-1].Offset+1 {
+			t.Fatal("per-partition order broken")
+		}
+	}
+}
+
+func TestAtLeastOnceRedelivery(t *testing.T) {
+	b := newTopicBroker(t, 1, 100)
+	for i := 0; i < 5; i++ {
+		b.Publish("postings", "k", []byte{byte(i)})
+	}
+	c, _ := b.Subscribe("postings", "g")
+	first, _ := c.Poll(3)
+	if len(first) != 3 {
+		t.Fatalf("first poll: %d", len(first))
+	}
+	// Crash before commit: redelivery from offset 0.
+	c.Reset()
+	again, _ := c.Poll(100)
+	if len(again) != 5 {
+		t.Fatalf("redelivery: %d", len(again))
+	}
+	if again[0].Offset != 0 {
+		t.Errorf("redelivery start: %d", again[0].Offset)
+	}
+	// Commit, then reset: no redelivery.
+	c.Commit()
+	c.Reset()
+	final, _ := c.Poll(100)
+	if len(final) != 0 {
+		t.Errorf("after commit+reset: %d", len(final))
+	}
+}
+
+func TestIndependentGroups(t *testing.T) {
+	b := newTopicBroker(t, 1, 100)
+	for i := 0; i < 4; i++ {
+		b.Publish("postings", "k", nil)
+	}
+	c1, _ := b.Subscribe("postings", "group-a")
+	c2, _ := b.Subscribe("postings", "group-b")
+	m1, _ := c1.Poll(100)
+	c1.Commit()
+	m2, _ := c2.Poll(100)
+	if len(m1) != 4 || len(m2) != 4 {
+		t.Errorf("groups should read independently: %d %d", len(m1), len(m2))
+	}
+}
+
+func TestTryPublishBackpressure(t *testing.T) {
+	b := newTopicBroker(t, 1, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := b.TryPublish("postings", "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.TryPublish("postings", "k", nil); !errors.Is(err, ErrFull) {
+		t.Errorf("full partition: %v", err)
+	}
+	// Consuming and committing frees space.
+	c, _ := b.Subscribe("postings", "g")
+	c.Poll(100)
+	c.Commit()
+	if _, err := b.TryPublish("postings", "k", nil); err != nil {
+		t.Errorf("after drain: %v", err)
+	}
+}
+
+func TestPublishBlocksUntilConsumed(t *testing.T) {
+	b := newTopicBroker(t, 1, 2)
+	b.Publish("postings", "k", nil)
+	b.Publish("postings", "k", nil)
+
+	unblocked := make(chan struct{})
+	go func() {
+		b.Publish("postings", "k", nil) // blocks: capacity 2
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("publish should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c, _ := b.Subscribe("postings", "g")
+	c.Poll(100)
+	c.Commit()
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish did not unblock after drain")
+	}
+}
+
+func TestPollWait(t *testing.T) {
+	b := newTopicBroker(t, 1, 10)
+	c, _ := b.Subscribe("postings", "g")
+	start := time.Now()
+	msgs, err := c.PollWait(10, 30*time.Millisecond)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("empty pollwait: %v %d", err, len(msgs))
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("pollwait returned too early")
+	}
+	// With data available it returns promptly.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		b.Publish("postings", "k", nil)
+	}()
+	msgs, err = c.PollWait(10, 2*time.Second)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("pollwait with data: %v %d", err, len(msgs))
+	}
+}
+
+func TestShardedConsumers(t *testing.T) {
+	b := newTopicBroker(t, 4, 100)
+	for i := 0; i < 40; i++ {
+		b.Publish("postings", fmt.Sprintf("k%d", i), nil)
+	}
+	c0, err := b.SubscribeShard("postings", "g", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := b.SubscribeShard("postings", "g", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := c0.Poll(100)
+	m1, _ := c1.Poll(100)
+	if len(m0)+len(m1) != 40 {
+		t.Errorf("shards: %d + %d", len(m0), len(m1))
+	}
+	// No partition overlap.
+	p0 := map[int]bool{}
+	for _, m := range m0 {
+		p0[m.Partition] = true
+	}
+	for _, m := range m1 {
+		if p0[m.Partition] {
+			t.Fatal("partition served by two shard members")
+		}
+	}
+	if _, err := b.SubscribeShard("postings", "g", 5, 2); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad shard: %v", err)
+	}
+}
+
+func TestLag(t *testing.T) {
+	b := newTopicBroker(t, 2, 100)
+	for i := 0; i < 6; i++ {
+		b.Publish("postings", fmt.Sprintf("k%d", i), nil)
+	}
+	lag, err := b.Lag("postings", "g")
+	if err != nil || lag != 6 {
+		t.Errorf("initial lag: %d %v", lag, err)
+	}
+	c, _ := b.Subscribe("postings", "g")
+	c.Poll(100)
+	c.Commit()
+	lag, _ = b.Lag("postings", "g")
+	if lag != 0 {
+		t.Errorf("drained lag: %d", lag)
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := newTopicBroker(t, 1, 1)
+	b.Publish("postings", "k", nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Publish("postings", "k", nil) // blocks on full partition
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked publish after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake producer")
+	}
+	if _, err := b.Publish("postings", "k", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("publish after close: %v", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestConsumerClosed(t *testing.T) {
+	b := newTopicBroker(t, 1, 10)
+	c, _ := b.Subscribe("postings", "g")
+	c.Close()
+	if _, err := c.Poll(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("poll: %v", err)
+	}
+	if err := c.Commit(); !errors.Is(err, ErrClosed) {
+		t.Errorf("commit: %v", err)
+	}
+	if err := c.Reset(); !errors.Is(err, ErrClosed) {
+		t.Errorf("reset: %v", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	b := newTopicBroker(t, 4, 256)
+	const total = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				if _, err := b.Publish("postings", fmt.Sprintf("outlet-%d", i%13), []byte{byte(w)}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	received := make(chan int, 4)
+	for m := 0; m < 2; m++ {
+		go func(m int) {
+			c, err := b.SubscribeShard("postings", "g", m, 2)
+			if err != nil {
+				t.Errorf("subscribe: %v", err)
+				received <- 0
+				return
+			}
+			count := 0
+			idle := 0
+			for idle < 50 {
+				msgs, _ := c.PollWait(64, 10*time.Millisecond)
+				if len(msgs) == 0 {
+					idle++
+					continue
+				}
+				idle = 0
+				count += len(msgs)
+				c.Commit()
+			}
+			received <- count
+		}(m)
+	}
+	wg.Wait()
+	got := <-received + <-received
+	if got != total {
+		t.Errorf("received %d of %d", got, total)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	now := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+	b := NewBrokerWithClock(func() time.Time { return now })
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	b.Publish("t", "k", nil)
+	c, _ := b.Subscribe("t", "g")
+	msgs, _ := c.Poll(1)
+	if !msgs[0].Time.Equal(now) {
+		t.Errorf("virtual time: %v", msgs[0].Time)
+	}
+}

@@ -1,0 +1,149 @@
+// Package synth generates the deterministic synthetic world that replaces
+// the platform's proprietary inputs: the 45-outlet COVID-19 corpus
+// (2020-01-15 .. 2020-03-15), article markup with embedded references, and
+// social-media reaction cascades.
+//
+// The generator encodes only the *mechanisms* the paper asserts about low
+// versus high-quality outlets (§4): low-quality outlets chase the breaking
+// topic harder, cite fewer scientific sources, write more clickbait-y and
+// subjective prose, and harvest broader social reach. The analytics
+// pipeline — extraction, reference classification, KDE — then measures
+// Figures 4 and 5 from the raw events, so the figures are reproduced by the
+// measurement code rather than painted by the generator.
+package synth
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/outlets"
+)
+
+// ClassParams are the per-rating-class generator parameters.
+type ClassParams struct {
+	// DailyArticles is the outlet's mean article count per day (Poisson).
+	DailyArticles float64
+	// TopicShareStart is the share of articles on the emerging topic at
+	// day 0.
+	TopicShareStart float64
+	// TopicShareEnd is the (saturating) share late in the window.
+	TopicShareEnd float64
+	// TopicRampMidpoint is the day at which the logistic ramp is halfway.
+	TopicRampMidpoint float64
+	// TopicRampSteepness controls how fast the share ramps.
+	TopicRampSteepness float64
+
+	// RefsMean is the mean number of outgoing references per article.
+	RefsMean float64
+	// SciRefProb is the probability that any single reference points to a
+	// scientific source.
+	SciRefProb float64
+	// InternalRefProb is the probability that a non-scientific reference
+	// stays within the outlet.
+	InternalRefProb float64
+
+	// ClickbaitProb is the probability that a headline uses a clickbait
+	// template.
+	ClickbaitProb float64
+	// SubjectivityLevel is the per-sentence probability of injecting
+	// subjective words into the body.
+	SubjectivityLevel float64
+	// BylineProb is the probability an article carries an author byline.
+	BylineProb float64
+	// LongWordBias raises the share of polysyllabic vocabulary (higher
+	// reading grade).
+	LongWordBias float64
+
+	// ReactionLogMean and ReactionLogStd parameterise the log-normal
+	// reaction-count distribution of one article's cascade.
+	ReactionLogMean float64
+	ReactionLogStd  float64
+	// DenyShare is the fraction of stance-bearing replies that question
+	// the article.
+	DenyShare float64
+	// SupportShare is the fraction that support it (the remainder are
+	// neutral comments).
+	SupportShare float64
+}
+
+// classParams maps each rating class to its generator parameters. The
+// ordering of values across classes encodes the paper's claims:
+//
+//   - Figure 4: TopicShareEnd grows monotonically from Excellent to
+//     VeryPoor while TopicShareStart is nearly flat — "in the early stages
+//     both low and high-quality outlets posted with the same frequency;
+//     by the end of the first month, low-quality outlets started
+//     dedicating a larger percentage of their published articles".
+//   - Figure 5 (left): ReactionLogStd (and slightly ReactionLogMean) grow
+//     towards VeryPoor — "low-quality outlets tend to have a wider
+//     distribution of reactions".
+//   - Figure 5 (right): SciRefProb shrinks towards VeryPoor — "high-quality
+//     outlets base their findings more on well-established scientific
+//     references".
+var classParams = map[outlets.RatingClass]ClassParams{
+	outlets.Excellent: {
+		DailyArticles:   4.0,
+		TopicShareStart: 0.05, TopicShareEnd: 0.16, TopicRampMidpoint: 30, TopicRampSteepness: 0.18,
+		RefsMean: 6.0, SciRefProb: 0.45, InternalRefProb: 0.35,
+		ClickbaitProb: 0.03, SubjectivityLevel: 0.06, BylineProb: 0.97, LongWordBias: 0.35,
+		ReactionLogMean: 2.6, ReactionLogStd: 0.55, DenyShare: 0.10, SupportShare: 0.45,
+	},
+	outlets.Good: {
+		DailyArticles:   4.0,
+		TopicShareStart: 0.05, TopicShareEnd: 0.20, TopicRampMidpoint: 30, TopicRampSteepness: 0.18,
+		RefsMean: 5.0, SciRefProb: 0.35, InternalRefProb: 0.40,
+		ClickbaitProb: 0.08, SubjectivityLevel: 0.09, BylineProb: 0.90, LongWordBias: 0.30,
+		ReactionLogMean: 2.7, ReactionLogStd: 0.70, DenyShare: 0.13, SupportShare: 0.42,
+	},
+	outlets.Mixed: {
+		DailyArticles:   4.5,
+		TopicShareStart: 0.06, TopicShareEnd: 0.28, TopicRampMidpoint: 28, TopicRampSteepness: 0.20,
+		RefsMean: 4.0, SciRefProb: 0.18, InternalRefProb: 0.50,
+		ClickbaitProb: 0.22, SubjectivityLevel: 0.14, BylineProb: 0.75, LongWordBias: 0.22,
+		ReactionLogMean: 2.9, ReactionLogStd: 0.90, DenyShare: 0.18, SupportShare: 0.40,
+	},
+	outlets.Poor: {
+		DailyArticles:   5.0,
+		TopicShareStart: 0.06, TopicShareEnd: 0.38, TopicRampMidpoint: 26, TopicRampSteepness: 0.22,
+		RefsMean: 3.0, SciRefProb: 0.08, InternalRefProb: 0.60,
+		ClickbaitProb: 0.45, SubjectivityLevel: 0.20, BylineProb: 0.50, LongWordBias: 0.15,
+		ReactionLogMean: 3.1, ReactionLogStd: 1.05, DenyShare: 0.24, SupportShare: 0.38,
+	},
+	outlets.VeryPoor: {
+		DailyArticles:   5.5,
+		TopicShareStart: 0.07, TopicShareEnd: 0.48, TopicRampMidpoint: 24, TopicRampSteepness: 0.24,
+		RefsMean: 2.2, SciRefProb: 0.03, InternalRefProb: 0.65,
+		ClickbaitProb: 0.70, SubjectivityLevel: 0.28, BylineProb: 0.30, LongWordBias: 0.10,
+		ReactionLogMean: 3.2, ReactionLogStd: 1.20, DenyShare: 0.30, SupportShare: 0.35,
+	},
+}
+
+// Params returns the generator parameters for a rating class.
+func Params(c outlets.RatingClass) ClassParams { return classParams[c] }
+
+// TopicShareAt evaluates the class's logistic topic-share curve at day d
+// (0-based within the window).
+func (p ClassParams) TopicShareAt(d int) float64 {
+	return p.TopicShareStart +
+		(p.TopicShareEnd-p.TopicShareStart)*logistic(p.TopicRampSteepness*(float64(d)-p.TopicRampMidpoint))
+}
+
+func logistic(x float64) float64 {
+	if x > 35 {
+		return 1
+	}
+	if x < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Window is the paper's 60-day collection window (§4): 2020-01-15 to
+// 2020-03-15.
+var (
+	// WindowStart is the first day of collection.
+	WindowStart = time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+)
+
+// WindowDays is the number of days in the window.
+const WindowDays = 60

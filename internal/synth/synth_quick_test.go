@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestWorldEventInvariantsProperty checks, across random seeds, the two
+// invariants the ingestion path depends on: the event stream is
+// time-ordered, and every article's posting precedes all of its reactions
+// (so keyed routing keeps cascades causal within a partition).
+func TestWorldEventInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w := GenerateWorld(Config{Seed: seed, Days: 4, RateScale: 0.15, ReactionScale: 0.2})
+		events := w.Events()
+		if len(events) == 0 {
+			t.Log("empty world")
+			return false
+		}
+		seenPosting := map[string]bool{}
+		for i, ev := range events {
+			if i > 0 && ev.Time.Before(events[i-1].Time) {
+				t.Logf("seed %d: event %d out of order", seed, i)
+				return false
+			}
+			switch ev.Type {
+			case EventTypePosting:
+				if seenPosting[ev.ArticleURL] {
+					t.Logf("seed %d: duplicate posting for %s", seed, ev.ArticleURL)
+					return false
+				}
+				seenPosting[ev.ArticleURL] = true
+			case EventTypeReaction:
+				if !seenPosting[ev.ArticleURL] {
+					t.Logf("seed %d: reaction before posting for %s", seed, ev.ArticleURL)
+					return false
+				}
+			default:
+				t.Logf("seed %d: unknown event type %q", seed, ev.Type)
+				return false
+			}
+		}
+		// One posting per article.
+		if len(seenPosting) != len(w.Articles) {
+			t.Logf("seed %d: %d postings for %d articles", seed, len(seenPosting), len(w.Articles))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEventCodecProperty round-trips every event of a world through the
+// wire codec.
+func TestEventCodecProperty(t *testing.T) {
+	w := GenerateWorld(Config{Seed: 99, Days: 3, RateScale: 0.15, ReactionScale: 0.2})
+	for _, ev := range w.Events() {
+		payload, err := ev.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeEvent(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.PostID != ev.PostID || back.Type != ev.Type ||
+			back.ArticleURL != ev.ArticleURL || !back.Time.Equal(ev.Time) ||
+			back.Kind != ev.Kind || back.Text != ev.Text {
+			t.Fatalf("roundtrip mismatch:\n%+v\n%+v", ev, back)
+		}
+	}
+}

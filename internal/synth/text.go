@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Topic identifies a ground-truth article topic in the synthetic corpus.
+type Topic string
+
+// Topics in the synthetic world. Covid is the emerging topic of the demo.
+const (
+	TopicCovid    Topic = "covid-19"
+	TopicHealth   Topic = "health"
+	TopicPolitics Topic = "politics"
+	TopicEconomy  Topic = "economy"
+	TopicTech     Topic = "technology"
+)
+
+// BackgroundTopics are the non-emerging topics outlets also cover.
+var BackgroundTopics = []Topic{TopicHealth, TopicPolitics, TopicEconomy, TopicTech}
+
+// topicVocab holds per-topic content-word pools. Each pool mixes short
+// (easy) and long (hard) vocabulary; LongWordBias shifts the sampling.
+type topicVocab struct {
+	subjects   []string
+	actions    []string
+	objects    []string
+	hardTerms  []string // polysyllabic domain vocabulary
+	easyTerms  []string // short common vocabulary
+	headlineNP []string // noun phrases for headlines
+}
+
+var vocab = map[Topic]topicVocab{
+	TopicCovid: {
+		subjects:   []string{"researchers", "health officials", "epidemiologists", "doctors", "the ministry", "hospital staff", "virologists"},
+		actions:    []string{"reported", "confirmed", "announced", "observed", "estimated", "warned about", "documented", "tracked"},
+		objects:    []string{"new infections", "the outbreak", "transmission rates", "quarantine measures", "testing capacity", "vaccine candidates", "hospital admissions", "containment efforts"},
+		hardTerms:  []string{"coronavirus", "epidemiology", "asymptomatic", "transmission", "quarantine", "respiratory", "incubation", "surveillance", "containment", "immunological"},
+		easyTerms:  []string{"virus", "cases", "tests", "masks", "spread", "wards", "care", "risk", "rules", "flight bans"},
+		headlineNP: []string{"the coronavirus outbreak", "new COVID-19 cases", "the pandemic response", "virus transmission", "quarantine rules", "the vaccine race"},
+	},
+	TopicHealth: {
+		subjects:   []string{"nutritionists", "cardiologists", "a new study", "clinicians", "public health experts"},
+		actions:    []string{"linked", "associated", "examined", "compared", "reviewed"},
+		objects:    []string{"diet and heart disease", "exercise habits", "sleep quality", "screening programmes", "patient outcomes"},
+		hardTerms:  []string{"cardiovascular", "metabolism", "cholesterol", "hypertension", "randomized", "longitudinal"},
+		easyTerms:  []string{"diet", "sleep", "heart", "blood", "weight", "drugs"},
+		headlineNP: []string{"heart health", "a common diet", "sleep research", "cancer screening", "daily exercise"},
+	},
+	TopicPolitics: {
+		subjects:   []string{"lawmakers", "the committee", "the opposition", "officials", "the ministry"},
+		actions:    []string{"debated", "approved", "rejected", "proposed", "postponed"},
+		objects:    []string{"the new bill", "budget amendments", "the inquiry", "election rules", "the coalition deal"},
+		hardTerms:  []string{"legislation", "parliamentary", "constitutional", "referendum", "bipartisan"},
+		easyTerms:  []string{"vote", "bill", "tax", "law", "poll", "seats"},
+		headlineNP: []string{"the budget vote", "election reform", "the coalition talks", "a new inquiry"},
+	},
+	TopicEconomy: {
+		subjects:   []string{"analysts", "the central bank", "investors", "economists", "regulators"},
+		actions:    []string{"forecast", "reported", "downgraded", "revised", "flagged"},
+		objects:    []string{"quarterly growth", "inflation figures", "market volatility", "trade balances", "unemployment data"},
+		hardTerms:  []string{"macroeconomic", "quantitative", "derivatives", "liquidity", "volatility"},
+		easyTerms:  []string{"jobs", "prices", "trade", "stocks", "rates", "growth"},
+		headlineNP: []string{"the markets", "inflation numbers", "quarterly earnings", "the jobs report"},
+	},
+	TopicTech: {
+		subjects:   []string{"engineers", "the startup", "platform operators", "security researchers", "developers"},
+		actions:    []string{"launched", "patched", "disclosed", "benchmarked", "open-sourced"},
+		objects:    []string{"a new framework", "the data breach", "cloud infrastructure", "the chip shortage", "privacy tools"},
+		hardTerms:  []string{"architecture", "vulnerability", "cryptography", "infrastructure", "scalability"},
+		easyTerms:  []string{"apps", "chips", "code", "sites", "phones", "bugs"},
+		headlineNP: []string{"a major data breach", "the new chip", "cloud outages", "open source tools"},
+	},
+}
+
+// clickbaitTemplates turn a noun phrase into a clickbait headline. %s is
+// the topic noun phrase.
+var clickbaitTemplates = []string{
+	"You Won't Believe What %s Means For You",
+	"SHOCKING Truth About %s They Don't Want You To Know",
+	"This One Weird Trick Beats %s — Doctors HATE It!!!",
+	"What Happens Next With %s Will Blow Your Mind",
+	"10 Unbelievable Secrets About %s",
+	"The Miracle Answer To %s Big Pharma Is Hiding From You",
+	"Wait Until You See These INSANE Facts About %s",
+	"Here's Why Everyone Is Talking About %s Right Now",
+}
+
+// seriousTemplates produce sober headlines.
+var seriousTemplates = []string{
+	"Study examines %s amid calls for more data",
+	"Officials issue updated guidance on %s",
+	"Analysis: what the latest figures say about %s",
+	"Researchers publish new findings on %s",
+	"Report outlines response to %s",
+	"Experts weigh evidence on %s",
+	"Data brief: %s in perspective",
+}
+
+// subjectiveInserts are injected into body sentences at the class's
+// subjectivity level.
+var subjectiveInserts = []string{
+	"amazing", "shocking", "incredible", "terrible", "wonderful",
+	"disastrous", "unbelievable", "stunning", "outrageous", "fantastic",
+}
+
+// reporterFirst and reporterLast compose bylines.
+var (
+	reporterFirst = []string{"Alex", "Maria", "John", "Wei", "Fatima", "Ivan", "Sofia", "Liam", "Aisha", "Noah"}
+	reporterLast  = []string{"Garcia", "Smith", "Chen", "Okafor", "Novak", "Rossi", "Haddad", "Kim", "Dubois", "Mwangi"}
+)
+
+// GenTitle produces a headline for the topic; clickbait selects the
+// template family.
+func GenTitle(rng *rand.Rand, topic Topic, clickbait bool) string {
+	v := vocab[topic]
+	np := v.headlineNP[rng.Intn(len(v.headlineNP))]
+	if clickbait {
+		return fmt.Sprintf(clickbaitTemplates[rng.Intn(len(clickbaitTemplates))], np)
+	}
+	return fmt.Sprintf(seriousTemplates[rng.Intn(len(seriousTemplates))], np)
+}
+
+// GenByline produces a reporter name.
+func GenByline(rng *rand.Rand) string {
+	return reporterFirst[rng.Intn(len(reporterFirst))] + " " + reporterLast[rng.Intn(len(reporterLast))]
+}
+
+// GenBody produces sentences about the topic. subjectivity is the
+// per-sentence injection probability; longWordBias the share of hard
+// vocabulary.
+func GenBody(rng *rand.Rand, topic Topic, sentences int, subjectivity, longWordBias float64) string {
+	v := vocab[topic]
+	var b strings.Builder
+	for s := 0; s < sentences; s++ {
+		subj := v.subjects[rng.Intn(len(v.subjects))]
+		act := v.actions[rng.Intn(len(v.actions))]
+		obj := v.objects[rng.Intn(len(v.objects))]
+		var term string
+		if rng.Float64() < longWordBias {
+			term = v.hardTerms[rng.Intn(len(v.hardTerms))]
+		} else {
+			term = v.easyTerms[rng.Intn(len(v.easyTerms))]
+		}
+		sentence := fmt.Sprintf("%s %s %s, citing %s data", capitalize(subj), act, obj, term)
+		if rng.Float64() < subjectivity {
+			ins := subjectiveInserts[rng.Intn(len(subjectiveInserts))]
+			sentence = fmt.Sprintf("%s in a truly %s development", sentence, ins)
+		}
+		b.WriteString(sentence)
+		b.WriteString(". ")
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// replyTemplates per stance for cascade reply generation.
+var (
+	supportReplies = []string{
+		"Great reporting, so true and very informative.",
+		"Excellent piece, thank you for sharing this.",
+		"Finally accurate coverage, well researched and trustworthy.",
+		"This is correct, confirms what the data shows.",
+	}
+	denyReplies = []string{
+		"This is fake news, already debunked.",
+		"Total nonsense and clickbait, stop spreading misinformation.",
+		"source? proof? I doubt this is true.",
+		"Misleading garbage from an unreliable outlet.",
+	}
+	commentReplies = []string{
+		"Reading this on the train right now.",
+		"Saw this trending earlier today.",
+		"Interesting times we live in.",
+		"Tagging a friend who follows this closely.",
+	}
+)
+
+// GenReply produces reply text for the stance class: 0 = comment,
+// 1 = support, 2 = deny (matching socialind.Stance values).
+func GenReply(rng *rand.Rand, stance int) string {
+	switch stance {
+	case 1:
+		return supportReplies[rng.Intn(len(supportReplies))]
+	case 2:
+		return denyReplies[rng.Intn(len(denyReplies))]
+	default:
+		return commentReplies[rng.Intn(len(commentReplies))]
+	}
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}

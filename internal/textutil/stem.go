@@ -1,0 +1,250 @@
+package textutil
+
+import "strings"
+
+// Stem reduces an English word to its stem using the Porter stemming
+// algorithm (Porter, 1980). The input is lower-cased first. Words shorter
+// than three letters are returned unchanged (lower-cased).
+//
+// The stemmer is used to collapse inflectional variants before lexicon
+// lookups and bag-of-words vectorisation.
+func Stem(word string) string {
+	w := []byte(strings.ToLower(word))
+	if len(w) <= 2 {
+		return string(w)
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant under Porter's definition
+// ("y" is a consonant when preceded by a vowel position).
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	}
+	return true
+}
+
+// measure computes Porter's m: the number of VC sequences in w[:len(w)].
+func measure(w []byte) int {
+	n := 0
+	i := 0
+	ln := len(w)
+	// Skip initial consonants.
+	for i < ln && isCons(w, i) {
+		i++
+	}
+	for i < ln {
+		// Vowel run.
+		for i < ln && !isCons(w, i) {
+			i++
+		}
+		if i >= ln {
+			break
+		}
+		// Consonant run => one VC.
+		for i < ln && isCons(w, i) {
+			i++
+		}
+		n++
+	}
+	return n
+}
+
+func containsVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends with a doubled consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	c := w[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r if the stem before s has measure
+// at least minM. Reports whether a replacement happened.
+func replaceSuffix(w []byte, s, r string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stem := w[:len(w)-len(s)]
+	if measure(stem) < minM {
+		return w, false
+	}
+	out := make([]byte, 0, len(stem)+len(r))
+	out = append(out, stem...)
+	out = append(out, r...)
+	return out, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	applied := false
+	if hasSuffix(w, "ed") && containsVowel(w[:len(w)-2]) {
+		w = w[:len(w)-2]
+		applied = true
+	} else if hasSuffix(w, "ing") && containsVowel(w[:len(w)-3]) {
+		w = w[:len(w)-3]
+		applied = true
+	}
+	if !applied {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w) == 1 && endsCVC(w):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		w = append(w[:len(w)-1], 'i')
+	}
+	return w
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		if out, ok := replaceSuffix(w, rule.suffix, rule.repl, 1); ok {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		if out, ok := replaceSuffix(w, rule.suffix, rule.repl, 1); ok {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) <= 1 {
+			return w
+		}
+		// "ion" requires preceding s or t; handled below. For the plain
+		// suffix list, strip directly.
+		return stem
+	}
+	if hasSuffix(w, "ion") {
+		stem := w[:len(w)-3]
+		if measure(stem) > 1 && len(stem) > 0 && (stem[len(stem)-1] == 's' || stem[len(stem)-1] == 't') {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && hasSuffix(w, "ll") {
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// StemAll stems every word in the slice, returning a new slice.
+func StemAll(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = Stem(w)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownPairs(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		{"happy", "happi"},
+		{"sky", "sky"},
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"digitizer", "digit"},
+		{"conformabli", "conform"},
+		{"radicalli", "radic"},
+		{"differentli", "differ"},
+		{"vileli", "vile"},
+		{"analogousli", "analog"},
+		{"vietnamization", "vietnam"},
+		{"predication", "predic"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"gyroscopic", "gyroscop"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+	}
+	for _, c := range cases {
+		if got := Stem(c.in); got != c.want {
+			t.Errorf("Stem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"a", "an", "be", "is", ""} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemLowercases(t *testing.T) {
+	if got := Stem("Running"); got != "run" {
+		t.Errorf("Stem(Running) = %q, want run", got)
+	}
+}
+
+func TestStemIdempotentOnCommonVocabulary(t *testing.T) {
+	// Stemming a stem twice should usually be stable; verify over the
+	// vocabulary we actually use in lexica.
+	words := []string{
+		"science", "scientist", "research", "vaccine", "virus", "study",
+		"misinformation", "credibility", "journalism", "evidence",
+		"shocking", "amazing", "unbelievable", "miracle", "doctors",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent for %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndNonEmpty(t *testing.T) {
+	check := func(w string) bool {
+		got := Stem(w)
+		// Output may be empty only if input had no letters at all.
+		if len(w) > 2 && got == "" {
+			for _, r := range w {
+				if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemAll(t *testing.T) {
+	got := StemAll([]string{"running", "jumps"})
+	if got[0] != "run" || got[1] != "jump" {
+		t.Errorf("StemAll: got %v", got)
+	}
+}

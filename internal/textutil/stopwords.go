@@ -1,0 +1,63 @@
+package textutil
+
+import "strings"
+
+// stopwordList is the standard English stop-word inventory (SMART-derived,
+// trimmed to the terms that actually occur in news prose).
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "also", "am",
+	"an", "and", "any", "are", "aren't", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+	"doesn't", "doing", "don't", "down", "during", "each", "few", "for",
+	"from", "further", "had", "hadn't", "has", "hasn't", "have", "haven't",
+	"having", "he", "he'd", "he'll", "he's", "her", "here", "here's", "hers",
+	"herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+	"i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its",
+	"itself", "let's", "me", "more", "most", "mustn't", "my", "myself",
+	"no", "nor", "not", "of", "off", "on", "once", "only", "or", "other",
+	"ought", "our", "ours", "ourselves", "out", "over", "own", "same",
+	"shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't",
+	"so", "some", "such", "than", "that", "that's", "the", "their",
+	"theirs", "them", "themselves", "then", "there", "there's", "these",
+	"they", "they'd", "they'll", "they're", "they've", "this", "those",
+	"through", "to", "too", "under", "until", "up", "very", "was", "wasn't",
+	"we", "we'd", "we'll", "we're", "we've", "were", "weren't", "what",
+	"what's", "when", "when's", "where", "where's", "which", "while",
+	"who", "who's", "whom", "why", "why's", "with", "won't", "would",
+	"wouldn't", "you", "you'd", "you'll", "you're", "you've", "your",
+	"yours", "yourself", "yourselves",
+}
+
+var stopwordSet = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(stopwordList))
+	for _, w := range stopwordList {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+// IsStopword reports whether the (case-insensitive) word is an English stop
+// word.
+func IsStopword(word string) bool {
+	_, ok := stopwordSet[strings.ToLower(word)]
+	return ok
+}
+
+// RemoveStopwords returns the words that are not stop words, preserving
+// order. The input slice is not modified.
+func RemoveStopwords(words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if !IsStopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ContentWords tokenises text, lower-cases the word tokens and removes stop
+// words: the standard preprocessing for vectorisation.
+func ContentWords(text string) []string {
+	return RemoveStopwords(Words(text))
+}

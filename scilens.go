@@ -1,0 +1,241 @@
+package scilens
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/api"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/indicators"
+	"repro/internal/outlets"
+	"repro/internal/reviews"
+	"repro/internal/socialind"
+	"repro/internal/synth"
+)
+
+// Core platform types, re-exported from the assembly layer.
+type (
+	// Platform is the assembled SciLens system: streaming entry point,
+	// hot store, warehouse, indicator engine and expert-review store.
+	Platform = core.Platform
+	// Config configures New.
+	Config = core.Config
+	// Assessment is the single-article view of paper Figure 3.
+	Assessment = core.Assessment
+	// IngestStats counts ingestion outcomes.
+	IngestStats = core.IngestStats
+	// TrainReport summarises a periodic model-training run.
+	TrainReport = core.TrainReport
+	// DailyReport summarises one RunDaily maintenance cycle (migration +
+	// model training).
+	DailyReport = core.DailyReport
+	// TopicModelReport summarises a topic-discovery training run.
+	TopicModelReport = core.TopicModelReport
+	// ModelEvalReport scores a trained model against ground truth.
+	ModelEvalReport = core.ModelEvalReport
+	// OutletQualityScore is one outlet's review-derived quality estimate.
+	OutletQualityScore = core.OutletQuality
+	// ComputePool is the worker pool the parallel jobs run on (the
+	// paper's Spark role).
+	ComputePool = compute.Pool
+)
+
+// NewComputePool builds a worker pool for the parallel training and
+// analytics jobs; retries is the per-partition fault-retry budget.
+func NewComputePool(workers, retries int) *ComputePool {
+	return compute.NewPool(workers, retries)
+}
+
+// Indicator engine types.
+type (
+	// Engine computes indicator reports for article documents.
+	Engine = indicators.Engine
+	// EngineConfig configures NewEngine.
+	EngineConfig = indicators.Config
+	// Report is the full indicator bundle for one article.
+	Report = indicators.Report
+	// Post is one social-media posting in a reaction cascade.
+	Post = socialind.Post
+)
+
+// Outlet registry types.
+type (
+	// Outlet is one news source.
+	Outlet = outlets.Outlet
+	// Registry resolves outlets by ID and by domain.
+	Registry = outlets.Registry
+	// RatingClass is the five-band outlet quality ranking.
+	RatingClass = outlets.RatingClass
+)
+
+// Expert review types (paper §3.2).
+type (
+	// Review is one expert's annotation of one article on the seven
+	// criteria.
+	Review = reviews.Review
+	// ReviewAggregate is the weighted, time-sensitive review summary.
+	ReviewAggregate = reviews.Aggregate
+	// Criterion indexes the seven review criteria.
+	Criterion = reviews.Criterion
+)
+
+// Analytics types (paper §4).
+type (
+	// ActivitySeries is the Figure 4 newsroom-activity time series.
+	ActivitySeries = analytics.ActivitySeries
+	// ClassDensity is one rating class's KDE curve (Figure 5).
+	ClassDensity = analytics.ClassDensity
+	// ArticleFact is the flattened per-article record the analytics
+	// consume.
+	ArticleFact = analytics.ArticleFact
+	// ConsensusConfig parameterises the consensus experiment (claim C2).
+	ConsensusConfig = analytics.ConsensusConfig
+	// ConsensusResult reports the consensus experiment.
+	ConsensusResult = analytics.ConsensusResult
+)
+
+// Synthetic world types (the substitute for the proprietary firehose).
+type (
+	// World is a generated corpus: articles plus social cascades.
+	World = synth.World
+	// WorldConfig parameterises GenerateWorld.
+	WorldConfig = synth.Config
+	// Article is one generated news article.
+	Article = synth.Article
+	// Event is one firehose event (posting or reaction).
+	Event = synth.Event
+)
+
+// Rating classes, best first (the ACSH-style five-band ranking).
+const (
+	Excellent  = outlets.Excellent
+	Good       = outlets.Good
+	Mixed      = outlets.Mixed
+	Poor       = outlets.Poor
+	VeryPoor   = outlets.VeryPoor
+	NumClasses = outlets.NumClasses
+)
+
+// The seven expert-review criteria, in paper order (§3.2).
+const (
+	FactualAccuracy         = reviews.FactualAccuracy
+	ScientificUnderstanding = reviews.ScientificUnderstanding
+	LogicReasoning          = reviews.LogicReasoning
+	PrecisionClarity        = reviews.PrecisionClarity
+	SourcesQuality          = reviews.SourcesQuality
+	Fairness                = reviews.Fairness
+	Clickbaitness           = reviews.Clickbaitness
+	NumCriteria             = reviews.NumCriteria
+)
+
+// Demo window: the paper's 60-day COVID-19 collection period.
+var (
+	// WindowStart is 2020-01-15 UTC.
+	WindowStart = synth.WindowStart
+)
+
+// WindowDays is the demo collection window length (60).
+const WindowDays = synth.WindowDays
+
+// Sentinel errors.
+var (
+	// ErrNotIngested is returned when an article URL or ID is unknown to
+	// the platform's store.
+	ErrNotIngested = core.ErrNotIngested
+	// ErrNoData is returned by analytics jobs with an empty segment.
+	ErrNoData = analytics.ErrNoData
+)
+
+// New assembles a platform: broker topic, store schemas, warehouse cluster
+// and indicator engine. The zero Config is a working default (the 45-outlet
+// demo shortlist, 4 partitions, 4 warehouse nodes, real clock, COVID-19
+// topic segment).
+func New(cfg Config) (*Platform, error) { return core.NewPlatform(cfg) }
+
+// NewEngine builds a standalone indicator engine, for evaluating documents
+// without assembling the full platform.
+func NewEngine(cfg EngineConfig) *Engine { return indicators.NewEngine(cfg) }
+
+// EvaluateDocument computes the full indicator report for one document with
+// a default engine — the one-shot path behind "any arbitrary news article
+// that a user wants to evaluate" (paper §4.1). For repeated evaluations
+// construct one Engine (or Platform) and reuse it; the engine caches.
+func EvaluateDocument(doc, url string) (*Report, error) {
+	return NewEngine(EngineConfig{}).Evaluate(doc, url, nil)
+}
+
+// DemoShortlist returns the 45-outlet registry with the five-band quality
+// ranking used by the paper's demonstration (§4).
+func DemoShortlist() *Registry { return outlets.DemoShortlist() }
+
+// GenerateWorld builds the deterministic synthetic corpus that substitutes
+// the proprietary COVID-19 crawl: articles with embedded references plus
+// social-media reaction cascades over the demo window.
+func GenerateWorld(cfg WorldConfig) *World { return synth.GenerateWorld(cfg) }
+
+// NewHTTPServer mounts the three Indicators API micro-services (assessment,
+// insights, reviews; paper §3.3) for the platform on one handler.
+func NewHTTPServer(p *Platform) http.Handler { return api.NewServer(p) }
+
+// BootstrapConfig parameterises Bootstrap.
+type BootstrapConfig struct {
+	// Seed drives the synthetic world (default 1).
+	Seed int64
+	// Days is the generation window (default WindowDays = 60).
+	Days int
+	// RateScale scales per-outlet posting rates; < 1 shrinks the corpus
+	// for fast experiments (default 1).
+	RateScale float64
+	// ReactionScale scales social cascade sizes (default 1).
+	ReactionScale float64
+	// Consumers is the ingestion consumer-group size (default 4).
+	Consumers int
+	// Platform overrides the platform configuration; its Clock default is
+	// pinned to the end of the generation window so time-decayed review
+	// weights are reproducible.
+	Platform Config
+}
+
+// Bootstrap assembles a platform and streams a deterministic synthetic
+// world through the full ingestion path (queue → extraction → indicators →
+// store). It is the quickest route to a populated platform for examples,
+// benchmarks and experiments.
+func Bootstrap(cfg BootstrapConfig) (*Platform, *World, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = WindowDays
+	}
+	if cfg.RateScale == 0 {
+		cfg.RateScale = 1
+	}
+	if cfg.ReactionScale == 0 {
+		cfg.ReactionScale = 1
+	}
+	if cfg.Consumers <= 0 {
+		cfg.Consumers = 4
+	}
+	world := GenerateWorld(WorldConfig{
+		Seed:          cfg.Seed,
+		Registry:      cfg.Platform.Registry,
+		Days:          cfg.Days,
+		RateScale:     cfg.RateScale,
+		ReactionScale: cfg.ReactionScale,
+	})
+	pc := cfg.Platform
+	if pc.Clock == nil {
+		end := world.Start.AddDate(0, 0, world.Days)
+		pc.Clock = func() time.Time { return end }
+	}
+	platform, err := New(pc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := platform.IngestWorld(world, cfg.Consumers); err != nil {
+		return nil, nil, err
+	}
+	return platform, world, nil
+}

@@ -1,0 +1,248 @@
+package scilens_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	scilens "repro"
+)
+
+// testDoc is a minimal news document in the markup subset the extractor
+// handles: headline, byline, paragraphs and references.
+const testDoc = `<html><head><title>Vaccine trial shows strong immune response</title></head>
+<body>
+<span class="byline">By Jane Roe</span>
+<p>Researchers reported measured results from a phase two trial. The data
+were reviewed before publication and the sample included 240 participants.</p>
+<p>The study, published in a peer-reviewed journal, is available at
+<a href="https://www.nature.com/articles/vaccine-trial">the journal</a>
+and was discussed by <a href="https://outlet-excellent-1.example/followup">another outlet</a>.</p>
+</body></html>`
+
+const testURL = "https://newsroom.example/2020/02/vaccine-trial"
+
+func TestEvaluateDocument(t *testing.T) {
+	report, err := scilens.EvaluateDocument(testDoc, testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Article.Title == "" {
+		t.Error("no title extracted")
+	}
+	if !report.Content.HasByline {
+		t.Error("byline missed")
+	}
+	if report.Context.ScientificCount < 1 {
+		t.Errorf("scientific reference missed: %+v", report.Context)
+	}
+	if report.Composite <= 0 || report.Composite > 1 {
+		t.Errorf("composite out of range: %v", report.Composite)
+	}
+}
+
+func TestEvaluateDocumentEmpty(t *testing.T) {
+	if _, err := scilens.EvaluateDocument("", ""); err == nil {
+		t.Error("empty document should fail")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	cfg := scilens.BootstrapConfig{Seed: 7, Days: 6, RateScale: 0.2, ReactionScale: 0.2}
+	p1, w1, err := scilens.Bootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, w2, err := scilens.Bootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Articles) == 0 || len(w1.Articles) != len(w2.Articles) {
+		t.Fatalf("world sizes: %d vs %d", len(w1.Articles), len(w2.Articles))
+	}
+	a1, err := p1.AssessURL(w1.Articles[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p2.AssessURL(w2.Articles[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a1 != *a2 {
+		t.Errorf("assessments differ:\n%+v\n%+v", a1, a2)
+	}
+}
+
+func TestBootstrapDefaultsApplied(t *testing.T) {
+	p, w, err := scilens.Bootstrap(scilens.BootstrapConfig{Days: 3, RateScale: 0.1, ReactionScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Days != 3 {
+		t.Errorf("days: %d", w.Days)
+	}
+	if p.Stats().Postings != len(w.Articles) {
+		t.Errorf("ingested %d of %d", p.Stats().Postings, len(w.Articles))
+	}
+	// The default clock is pinned to the window end, after every event.
+	if got := p.Clock(); !got.After(w.Start) {
+		t.Errorf("clock: %v", got)
+	}
+}
+
+func TestExpertReviewFlow(t *testing.T) {
+	p, w, err := scilens.Bootstrap(scilens.BootstrapConfig{Seed: 3, Days: 4, RateScale: 0.15, ReactionScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := w.Articles[0]
+	review := scilens.Review{ArticleID: art.ID, Reviewer: "expert-1", Time: p.Clock()}
+	for c := range review.Scores {
+		review.Scores[c] = 5
+	}
+	review.Scores[scilens.Clickbaitness] = 3
+	if _, err := p.Reviews.Submit(review); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AssessID(art.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (5.0*6 + 3.0) / 7
+	if a.ExpertCount != 1 || a.ExpertOverall < want-1e-9 || a.ExpertOverall > want+1e-9 {
+		t.Errorf("aggregate: count=%d overall=%v want %v", a.ExpertCount, a.ExpertOverall, want)
+	}
+}
+
+func TestErrNotIngestedExposed(t *testing.T) {
+	p, err := scilens.New(scilens.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AssessURL("https://nowhere.example/x"); !errors.Is(err, scilens.ErrNotIngested) {
+		t.Errorf("sentinel not exposed: %v", err)
+	}
+}
+
+func TestHTTPServerEndToEnd(t *testing.T) {
+	p, w, err := scilens.Bootstrap(scilens.BootstrapConfig{Seed: 5, Days: 8, RateScale: 0.25, ReactionScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(scilens.NewHTTPServer(p))
+	defer srv.Close()
+
+	// Stored-article assessment (Figure 3 payload).
+	resp, err := srv.Client().Get(srv.URL + "/api/assess?url=" + w.Articles[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assessment scilens.Assessment
+	if err := json.NewDecoder(resp.Body).Decode(&assessment); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || assessment.ArticleID != w.Articles[0].ID {
+		t.Errorf("assess: status=%d got %+v", resp.StatusCode, assessment.ArticleID)
+	}
+
+	// Arbitrary-document assessment.
+	body, _ := json.Marshal(map[string]string{"html": testDoc, "url": testURL})
+	resp, err = srv.Client().Post(srv.URL+"/api/assess", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || doc["title"] == "" {
+		t.Errorf("document assess: %d %v", resp.StatusCode, doc)
+	}
+
+	// Topic insights (Figure 4 payload).
+	resp, err = srv.Client().Get(srv.URL + "/api/insights/activity?days=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var activity struct {
+		Days   int                  `json:"days"`
+		Series map[string][]float64 `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&activity); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if activity.Days != 8 || len(activity.Series) != scilens.NumClasses {
+		t.Errorf("activity: %+v", activity)
+	}
+}
+
+func TestRatingClassLabels(t *testing.T) {
+	order := []scilens.RatingClass{
+		scilens.Excellent, scilens.Good, scilens.Mixed, scilens.Poor, scilens.VeryPoor,
+	}
+	if len(order) != scilens.NumClasses {
+		t.Fatalf("class count: %d", scilens.NumClasses)
+	}
+	seen := map[string]bool{}
+	for _, c := range order {
+		label := c.String()
+		if label == "" || seen[label] {
+			t.Errorf("bad label for class %d: %q", c, label)
+		}
+		seen[label] = true
+	}
+}
+
+func ExampleEvaluateDocument() {
+	report, err := scilens.EvaluateDocument(testDoc, testURL)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("title:", report.Article.Title)
+	fmt.Println("byline:", report.Content.HasByline)
+	fmt.Println("scientific refs:", report.Context.ScientificCount)
+	// Output:
+	// title: Vaccine trial shows strong immune response
+	// byline: true
+	// scientific refs: 1
+}
+
+func TestDailyCycleThroughFacade(t *testing.T) {
+	p, w, err := scilens.Bootstrap(scilens.BootstrapConfig{Seed: 13, Days: 8, RateScale: 0.3, ReactionScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := scilens.NewComputePool(4, 1)
+	date := w.Start.AddDate(0, 0, w.Days)
+	rep, err := p.RunDaily(pool, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MigratedRows == 0 || rep.Clickbait == nil || rep.Stance == nil || rep.Topics == nil {
+		t.Errorf("incomplete daily cycle: %+v", rep)
+	}
+	facts, err := p.BuildFactsFromWarehouse(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != len(w.Articles) {
+		t.Errorf("warehouse facts: %d of %d", len(facts), len(w.Articles))
+	}
+	gold := map[string]bool{}
+	for _, a := range w.Articles {
+		gold[a.ID] = a.Clickbait
+	}
+	eval, err := p.EvaluateClickbaitModel(gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Labelled != len(w.Articles) || eval.F1 <= 0 {
+		t.Errorf("model eval: %+v", eval)
+	}
+}
