@@ -78,6 +78,54 @@ func BenchmarkFigure3ColdEvaluation(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure3WarmEvaluation measures the cached document-evaluation
+// path: repeated POST /api/assess requests for already-seen documents are
+// served from the engine's content-hash report cache.
+func BenchmarkFigure3WarmEvaluation(b *testing.B) {
+	_, w := benchFixture(b)
+	engine := scilens.NewEngine(scilens.EngineConfig{})
+	docs := make([]string, 0, 256)
+	urls := make([]string, 0, 256)
+	for _, a := range w.Articles[:min(256, len(w.Articles))] {
+		docs = append(docs, a.RawHTML)
+		urls = append(urls, a.URL)
+	}
+	// Prime the cache.
+	for i := range docs {
+		if _, err := engine.Evaluate(docs[i], urls[i], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Evaluate(docs[i%len(docs)], urls[i%len(docs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3ConcurrentAssessment drives the stored-assessment path
+// from parallel clients — the serving shape of the real-time Indicators
+// API under load.
+func BenchmarkFigure3ConcurrentAssessment(b *testing.B) {
+	p, w := benchFixture(b)
+	ids := make([]string, len(w.Articles))
+	for i, a := range w.Articles {
+		ids[i] = a.ID
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := p.AssessID(ids[i%len(ids)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkFigure4NewsroomActivity regenerates the Figure 4 series (facts
 // scan + per-outlet daily shares + class means + smoothing).
 func BenchmarkFigure4NewsroomActivity(b *testing.B) {

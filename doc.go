@@ -25,6 +25,22 @@
 // Figure5Evidence (social-engagement and evidence-seeking KDEs), and
 // RunConsensusExperiment (the indicator-assisted consensus claim).
 //
+// # Real-time evaluation architecture
+//
+// The indicator engine is organised around a shared single-pass document
+// analysis (textutil.Analysis): one tokenisation pass per title and body
+// produces lower-cased tokens, Porter stems, syllable counts, sentence
+// boundaries and stop-word flags, and every indicator family — readability
+// formulas, subjectivity and clickbait lexicon scoring, topic tagging —
+// consumes that one analysis instead of re-scanning the text. Independent
+// families (the body analysis on one side; title analysis plus reference
+// classification on the other) overlap on a bounded compute.Pool worker
+// set. On top, the engine keeps a sharded LRU report cache keyed by
+// document content hash with singleflight de-duplication, so repeated and
+// concurrent evaluations of the same article — the POST /api/assess hot
+// path — run the pipeline once. The stored-assessment path reads rows in
+// place (rdbms.Table.View) and memoises expert-review aggregates.
+//
 // Everything is deterministic for a fixed seed and uses only the Go
 // standard library.
 package scilens

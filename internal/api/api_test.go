@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -467,5 +468,58 @@ func TestAssessBatchValidation(t *testing.T) {
 	srv.ServeHTTP(rec2, req)
 	if rec2.Code != http.StatusBadRequest {
 		t.Errorf("malformed body: %d", rec2.Code)
+	}
+}
+
+// TestConcurrentAssessDocumentSingleflight hammers POST /api/assess with
+// the same never-seen document from many goroutines: the engine's
+// content-hash cache plus singleflight must give every request the same
+// result, and the document must end up cached exactly once.
+func TestConcurrentAssessDocumentSingleflight(t *testing.T) {
+	p, _, srv := apiFixture(t)
+	doc := `<html><head><title>Fresh study examines quarantine data</title></head><body>
+<p>Epidemiologists tracked coronavirus transmission across hospital wards,
+citing surveillance data. <a href="https://nature.com/articles/y">(source)</a></p>
+</body></html>`
+	body := map[string]any{"url": "https://excellent-1.example/fresh", "html": doc}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := p.Engine.CacheLen()
+	const clients = 16
+	var wg sync.WaitGroup
+	composites := make([]float64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/api/assess", bytes.NewReader(raw))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("client %d: status %d", c, rec.Code)
+				return
+			}
+			var payload struct {
+				Composite float64 `json:"composite"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			composites[c] = payload.Composite
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 1; c < clients; c++ {
+		if composites[c] != composites[0] {
+			t.Fatalf("client %d diverged: %v vs %v", c, composites[c], composites[0])
+		}
+	}
+	if got := p.Engine.CacheLen(); got != before+1 {
+		t.Errorf("cache grew by %d entries, want 1", got-before)
 	}
 }

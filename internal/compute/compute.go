@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors.
@@ -91,13 +92,20 @@ func (d *Dataset[T]) Collect() []T {
 }
 
 // Pool executes partition tasks on a bounded set of workers with
-// per-partition retry. The zero Pool is not usable; use NewPool.
+// per-partition retry. The worker bound applies per job: concurrent jobs
+// on one pool each get their own worker set, so a shared pool never
+// deadlocks on nested or parallel use. The zero Pool is not usable; use
+// NewPool.
 type Pool struct {
 	workers int
 	retries int
 
-	mu    sync.Mutex
-	stats JobStats
+	// Counters are atomics, not a mutex: pools are shared across
+	// concurrent real-time evaluations, and a stats lock would serialise
+	// the very path the pool exists to parallelise.
+	jobs    atomic.Int64
+	tasks   atomic.Int64
+	retried atomic.Int64
 }
 
 // JobStats accumulates execution counters across jobs run on a pool.
@@ -127,9 +135,11 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Stats returns a snapshot of the accumulated counters.
 func (p *Pool) Stats() JobStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return JobStats{
+		Jobs:    int(p.jobs.Load()),
+		Tasks:   int(p.tasks.Load()),
+		Retries: int(p.retried.Load()),
+	}
 }
 
 // runTasks executes fn(i) for every partition index on the worker pool,
@@ -150,12 +160,10 @@ func (p *Pool) runTasks(n int, fn func(i int) error) error {
 			defer func() { <-sem }()
 			var err error
 			for attempt := 0; attempt <= p.retries; attempt++ {
-				p.mu.Lock()
-				p.stats.Tasks++
+				p.tasks.Add(1)
 				if attempt > 0 {
-					p.stats.Retries++
+					p.retried.Add(1)
 				}
-				p.mu.Unlock()
 				if err = fn(i); err == nil {
 					return
 				}
@@ -165,13 +173,20 @@ func (p *Pool) runTasks(n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	close(errCh)
-	p.mu.Lock()
-	p.stats.Jobs++
-	p.mu.Unlock()
+	p.jobs.Add(1)
 	for err := range errCh {
 		return err // first error wins
 	}
 	return nil
+}
+
+// Run executes the given tasks concurrently on the pool's bounded worker
+// set (one partition slot per task) and returns the first error. It is
+// the lightweight entry point for fixed small fan-outs — e.g. overlapping
+// independent indicator families per evaluation — where building a
+// Dataset would be pure overhead.
+func Run(p *Pool, tasks ...func() error) error {
+	return p.runTasks(len(tasks), func(i int) error { return tasks[i]() })
 }
 
 // Map applies fn to every element in parallel (one task per partition).

@@ -12,6 +12,7 @@ package contentind
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/extract"
@@ -37,8 +38,10 @@ type Indicators struct {
 
 // Analyzer computes content indicators. The zero value works with
 // lexicon-only scoring; attach a trained model with SetClickbaitModel.
+// The model pointer is atomic so periodic retraining can swap models
+// under live concurrent scoring.
 type Analyzer struct {
-	model    *classify.LogReg
+	model    atomic.Pointer[classify.LogReg]
 	features *FeatureExtractor
 }
 
@@ -49,11 +52,11 @@ func NewAnalyzer() *Analyzer {
 
 // ClickbaitModel returns the attached clickbait model, or nil when the
 // analyzer is lexicon-only.
-func (a *Analyzer) ClickbaitModel() *classify.LogReg { return a.model }
+func (a *Analyzer) ClickbaitModel() *classify.LogReg { return a.model.Load() }
 
 // SetClickbaitModel attaches a trained clickbait classifier whose features
 // come from the analyzer's FeatureExtractor.
-func (a *Analyzer) SetClickbaitModel(m *classify.LogReg) { a.model = m }
+func (a *Analyzer) SetClickbaitModel(m *classify.LogReg) { a.model.Store(m) }
 
 // Features returns the analyzer's title feature extractor (for training).
 func (a *Analyzer) Features() *FeatureExtractor { return a.features }
@@ -70,15 +73,41 @@ func (a *Analyzer) Analyze(art *extract.Article) Indicators {
 	return ind
 }
 
+// AnalyzeDoc computes the content indicators from shared single-pass
+// analyses of the title and body — equivalent to Analyze but without
+// re-tokenising or re-stemming either text.
+func (a *Analyzer) AnalyzeDoc(art *extract.Article, title, body *textutil.Analysis) Indicators {
+	ind := Indicators{
+		Clickbait:    a.ClickbaitScoreDoc(title),
+		Subjectivity: SubjectivityScoreDoc(body),
+		Readability:  readability.ScoreDoc(body),
+		HasByline:    art.HasByline(),
+	}
+	ind.ReadingGrade = readability.GradeConsensus(ind.Readability)
+	return ind
+}
+
+// ClickbaitScoreDoc is ClickbaitScore over a shared title analysis.
+func (a *Analyzer) ClickbaitScoreDoc(title *textutil.Analysis) float64 {
+	lex := LexiconClickbaitScoreDoc(title)
+	m := a.model.Load()
+	if m == nil {
+		return lex
+	}
+	p := m.Prob(a.features.ExtractDoc(title))
+	return (p + lex) / 2
+}
+
 // ClickbaitScore scores a headline in [0, 1]. With a model attached the
 // score is the mean of the model probability and the lexicon score;
 // otherwise the lexicon score alone.
 func (a *Analyzer) ClickbaitScore(title string) float64 {
 	lex := LexiconClickbaitScore(title)
-	if a.model == nil {
+	m := a.model.Load()
+	if m == nil {
 		return lex
 	}
-	p := a.model.Prob(a.features.Extract(title))
+	p := m.Prob(a.features.Extract(title))
 	return (p + lex) / 2
 }
 
@@ -115,7 +144,49 @@ func LexiconClickbaitScore(title string) float64 {
 	phrases := lexicon.ClickbaitPhraseHits(title)
 	forwards := lexicon.ForwardReferenceHits(title)
 	allCaps := textutil.AllCapsWordCount(title)
+	return squashClickbait(phrases, forwards, cueWords, exclaims, questions, numbers, words, allCaps)
+}
 
+// LexiconClickbaitScoreDoc is LexiconClickbaitScore over a shared title
+// analysis (one tokenisation, one lower-casing, stems reused).
+func LexiconClickbaitScoreDoc(a *textutil.Analysis) float64 {
+	if a.Text == "" {
+		return 0
+	}
+	words := 0
+	cueWords := 0
+	exclaims := 0
+	questions := 0
+	numbers := 0
+	wi := 0
+	for i := range a.Tokens {
+		t := &a.Tokens[i]
+		switch t.Kind {
+		case textutil.KindWord:
+			words++
+			if lexicon.IsClickbaitStem(a.Words[wi].Stem) {
+				cueWords++
+			}
+			wi++
+		case textutil.KindNumber:
+			numbers++
+		case textutil.KindPunct:
+			if t.Text[0] == '!' {
+				exclaims += len(t.Text)
+			}
+			if t.Text[0] == '?' {
+				questions += len(t.Text)
+			}
+		}
+	}
+	h := a.LowerText()
+	phrases := lexicon.ClickbaitPhraseHitsLower(h)
+	forwards := lexicon.ForwardReferenceHitsLower(h)
+	return squashClickbait(phrases, forwards, cueWords, exclaims, questions, numbers, words, a.AllCapsWords)
+}
+
+// squashClickbait blends the cue counts into the final [0, 1] score.
+func squashClickbait(phrases, forwards, cueWords, exclaims, questions, numbers, words, allCaps int) float64 {
 	score := 1.8*float64(phrases) +
 		1.2*float64(forwards) +
 		0.9*float64(cueWords) +
@@ -155,6 +226,37 @@ func SubjectivityScore(body string) float64 {
 	// Density of weighted clues per word; 0.12 (≈ one strong clue every
 	// 17 words) is treated as fully subjective.
 	density := weighted / float64(len(words))
+	score := density / 0.12
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// SubjectivityScoreDoc is SubjectivityScore over a shared body analysis:
+// the lexicon is probed with the precomputed stems, so no word is stemmed
+// (or stemmed twice for the booster fallback) per call.
+func SubjectivityScoreDoc(a *textutil.Analysis) float64 {
+	n := len(a.Words)
+	if n == 0 {
+		return 0
+	}
+	weighted := 0.0
+	for i := range a.Words {
+		stem := a.Words[i].Stem
+		if e, ok := lexicon.SubjectivityByStem(stem); ok {
+			if e.Strong {
+				weighted += 2
+			} else {
+				weighted += 1
+			}
+			continue
+		}
+		if lexicon.IsBoosterStem(stem) {
+			weighted += 0.5
+		}
+	}
+	density := weighted / float64(n)
 	score := density / 0.12
 	if score > 1 {
 		score = 1
@@ -249,6 +351,58 @@ func (f *FeatureExtractor) Extract(title string) mlcore.SparseVector {
 	v[style+featNumbers] = float64(numbers)
 	v[style+featPhraseHits] = float64(lexicon.ClickbaitPhraseHits(title))
 	v[style+featForwardRefs] = float64(lexicon.ForwardReferenceHits(title))
+	v[style+featCueWords] = float64(cueWords)
+	return v
+}
+
+// ExtractDoc builds the feature vector from a shared title analysis —
+// the same vector Extract produces, reusing the single tokenisation pass.
+func (f *FeatureExtractor) ExtractDoc(a *textutil.Analysis) mlcore.SparseVector {
+	words := a.WordStrings()
+	terms := append([]string{}, words...)
+	terms = append(terms, textutil.Bigrams(words)...)
+	v := mlcore.HashFeatures(terms, f.HashDim)
+
+	exclaims, questions, numbers := 0, 0, 0
+	wordLen := 0
+	cueWords := 0
+	wi := 0
+	for i := range a.Tokens {
+		t := &a.Tokens[i]
+		switch t.Kind {
+		case textutil.KindWord:
+			wordLen += len(t.Text)
+			if lexicon.IsClickbaitStem(a.Words[wi].Stem) {
+				cueWords++
+			}
+			wi++
+		case textutil.KindNumber:
+			numbers++
+		case textutil.KindPunct:
+			if t.Text[0] == '!' {
+				exclaims++
+			}
+			if t.Text[0] == '?' {
+				questions++
+			}
+		}
+	}
+	style := f.HashDim
+	if n := len(words); n > 0 {
+		v[style+featWordCount] = float64(n) / 20
+		v[style+featAvgWordLen] = float64(wordLen) / float64(n) / 10
+	}
+	v[style+featExclaims] = float64(exclaims)
+	v[style+featQuestions] = float64(questions)
+	capRatio := 0.0
+	if len(a.Words) > 0 {
+		capRatio = float64(a.CapitalizedWords) / float64(len(a.Words))
+	}
+	v[style+featAllCaps] = float64(a.AllCapsWords)
+	v[style+featCapRatio] = capRatio
+	v[style+featNumbers] = float64(numbers)
+	v[style+featPhraseHits] = float64(lexicon.ClickbaitPhraseHitsLower(a.LowerText()))
+	v[style+featForwardRefs] = float64(lexicon.ForwardReferenceHitsLower(a.LowerText()))
 	v[style+featCueWords] = float64(cueWords)
 	return v
 }

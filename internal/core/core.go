@@ -57,6 +57,12 @@ type Platform struct {
 	// TopicName is the supervised topic the demo segments on.
 	TopicName string
 
+	// Table handles resolved once at assembly time: the ingestion and
+	// assessment hot paths must not pay a registry lookup per event.
+	articles *rdbms.Table
+	social   *rdbms.Table
+	replies  *rdbms.Table
+
 	statsMu sync.Mutex
 	stats   IngestStats
 }
@@ -129,6 +135,15 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	if err := p.createSchemas(); err != nil {
+		return nil, err
+	}
+	if p.articles, err = p.DB.Table(ArticlesTable); err != nil {
+		return nil, err
+	}
+	if p.social, err = p.DB.Table(SocialTable); err != nil {
+		return nil, err
+	}
+	if p.replies, err = p.DB.Table(RepliesTable); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -310,10 +325,6 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 			break
 		}
 	}
-	articlesTable, err := p.DB.Table(ArticlesTable)
-	if err != nil {
-		return err
-	}
 	row := rdbms.Row{
 		rdbms.String(id),
 		rdbms.String(outlet.ID),
@@ -333,14 +344,10 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 		rdbms.Bool(isTopic),
 		rdbms.Float(report.Composite),
 	}
-	if err := articlesTable.Upsert(row); err != nil {
+	if err := p.articles.Upsert(row); err != nil {
 		return err
 	}
-	socialTable, err := p.DB.Table(SocialTable)
-	if err != nil {
-		return err
-	}
-	if err := socialTable.Upsert(rdbms.Row{
+	if err := p.social.Upsert(rdbms.Row{
 		rdbms.String(id), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
 		rdbms.Int(0), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
 	}); err != nil {
@@ -352,22 +359,19 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 
 // ingestReaction resolves the article by URL and updates the aggregates.
 func (p *Platform) ingestReaction(ev *synth.Event) error {
-	articlesTable, err := p.DB.Table(ArticlesTable)
-	if err != nil {
-		return err
-	}
-	rows, err := articlesTable.LookupEq("url", rdbms.String(ev.ArticleURL))
-	if err != nil || len(rows) == 0 {
+	var articleID string
+	found := false
+	err := p.articles.ViewEq("url", rdbms.String(ev.ArticleURL), func(r rdbms.Row) bool {
+		articleID = r[0].Str()
+		found = true
+		return false
+	})
+	if err != nil || !found {
 		p.bumpStat(func(s *IngestStats) { s.OrphanReactions++ })
 		return fmt.Errorf("reaction %s: %w", ev.PostID, ErrNotIngested)
 	}
-	articleID := rows[0][0].Str()
 
-	socialTable, err := p.DB.Table(SocialTable)
-	if err != nil {
-		return err
-	}
-	agg, err := socialTable.Get(rdbms.String(articleID))
+	agg, err := p.social.Get(rdbms.String(articleID))
 	if err != nil {
 		return err
 	}
@@ -385,11 +389,7 @@ func (p *Platform) ingestReaction(ev *synth.Event) error {
 		default:
 			bump(7)
 		}
-		repliesTable, err := p.DB.Table(RepliesTable)
-		if err != nil {
-			return err
-		}
-		if err := repliesTable.Upsert(rdbms.Row{
+		if err := p.replies.Upsert(rdbms.Row{
 			rdbms.String(ev.PostID), rdbms.String(articleID),
 			rdbms.String(ev.Text), rdbms.String(stance.String()),
 		}); err != nil {
@@ -400,7 +400,7 @@ func (p *Platform) ingestReaction(ev *synth.Event) error {
 	case "like":
 		bump(4)
 	}
-	if err := socialTable.Update(rdbms.String(articleID), agg); err != nil {
+	if err := p.social.Update(rdbms.String(articleID), agg); err != nil {
 		return err
 	}
 	p.bumpStat(func(s *IngestStats) { s.Reactions++ })

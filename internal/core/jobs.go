@@ -331,31 +331,33 @@ type Assessment struct {
 
 // AssessURL returns the assessment for an ingested article URL.
 func (p *Platform) AssessURL(url string) (*Assessment, error) {
-	articlesTable, err := p.DB.Table(ArticlesTable)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := articlesTable.LookupEq("url", rdbms.String(url))
-	if err != nil || len(rows) == 0 {
+	var a *Assessment
+	err := p.articles.ViewEq("url", rdbms.String(url), func(r rdbms.Row) bool {
+		a = assessmentFromRow(r)
+		return false
+	})
+	if err != nil || a == nil {
 		return nil, fmt.Errorf("url %q: %w", url, ErrNotIngested)
 	}
-	return p.assessmentFromRow(rows[0])
+	p.attachAggregates(a)
+	return a, nil
 }
 
-// AssessID returns the assessment for an ingested article ID.
+// AssessID returns the assessment for an ingested article ID. The row is
+// read in place (no clone) — this is the per-request real-time path.
 func (p *Platform) AssessID(id string) (*Assessment, error) {
-	articlesTable, err := p.DB.Table(ArticlesTable)
-	if err != nil {
-		return nil, err
-	}
-	row, err := articlesTable.Get(rdbms.String(id))
+	var a *Assessment
+	err := p.articles.View(rdbms.String(id), func(r rdbms.Row) {
+		a = assessmentFromRow(r)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("article %q: %w", id, ErrNotIngested)
 	}
-	return p.assessmentFromRow(row)
+	p.attachAggregates(a)
+	return a, nil
 }
 
-func (p *Platform) assessmentFromRow(r rdbms.Row) (*Assessment, error) {
+func assessmentFromRow(r rdbms.Row) *Assessment {
 	a := &Assessment{
 		ArticleID:    r[0].Str(),
 		OutletID:     r[1].Str(),
@@ -373,11 +375,13 @@ func (p *Platform) assessmentFromRow(r rdbms.Row) (*Assessment, error) {
 		SciRatio:     r[13].Float(),
 		Composite:    r[16].Float(),
 	}
-	socialTable, err := p.DB.Table(SocialTable)
-	if err != nil {
-		return nil, err
-	}
-	if social, err := socialTable.Get(rdbms.String(a.ArticleID)); err == nil {
+	return a
+}
+
+// attachAggregates fills the social and expert-review aggregates of an
+// assessment, reading the social row in place.
+func (p *Platform) attachAggregates(a *Assessment) {
+	_ = p.social.View(rdbms.String(a.ArticleID), func(social rdbms.Row) {
 		a.Reactions = int(social[1].Int())
 		a.Replies = int(social[2].Int())
 		a.Reshares = int(social[3].Int())
@@ -385,10 +389,9 @@ func (p *Platform) assessmentFromRow(r rdbms.Row) (*Assessment, error) {
 		a.Support = int(social[5].Int())
 		a.Deny = int(social[6].Int())
 		a.Comment = int(social[7].Int())
-	}
+	})
 	if agg, err := p.Reviews.AggregateAt(a.ArticleID, p.Clock()); err == nil {
 		a.ExpertOverall = agg.Overall
 		a.ExpertCount = agg.Count
 	}
-	return a, nil
 }

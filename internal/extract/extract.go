@@ -77,8 +77,7 @@ func scanHTML(doc string) []htmlToken {
 			toks = append(toks, tok)
 			// Skip script/style payloads entirely.
 			if !tok.closing && (tok.tag == "script" || tok.tag == "style") {
-				closeTag := "</" + tok.tag
-				idx := strings.Index(strings.ToLower(doc[i:]), closeTag)
+				idx := indexFold(doc[i:], "</"+tok.tag)
 				if idx < 0 {
 					break
 				}
@@ -125,9 +124,46 @@ func parseTag(raw string) htmlToken {
 		}
 	}
 	tok.tag = strings.ToLower(raw[:nameEnd])
-	rest := raw[nameEnd:]
-	tok.attrs = parseAttrs(rest)
+	// Closing tags carry no attributes, and most opening tags in news
+	// markup have none either: skip the attribute-map allocation unless
+	// there is something to parse.
+	if rest := strings.TrimSpace(raw[nameEnd:]); !tok.closing && rest != "" {
+		tok.attrs = parseAttrs(rest)
+	}
 	return tok
+}
+
+// indexFold returns the index of the first ASCII case-insensitive
+// occurrence of sub in s, or -1 — strings.Index(strings.ToLower(s), sub)
+// without copying the remainder of the document per probe.
+func indexFold(s, sub string) int {
+	n := len(sub)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if foldEqualASCII(s[i:i+n], sub) {
+			return i
+		}
+	}
+	return -1
+}
+
+// foldEqualASCII compares equal-length strings ignoring ASCII case.
+func foldEqualASCII(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }
 
 // parseAttrs parses key="value" pairs (single, double or no quotes).

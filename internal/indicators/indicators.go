@@ -3,21 +3,28 @@
 // computes every §3.1 quality indicator — content (clickbait,
 // subjectivity, readability, byline), news context (internal / external /
 // scientific references) and social (reach, stance) — plus topic
-// assignments and one composite automated quality score. A bounded cache
-// makes repeated real-time evaluations of the same article cheap
-// (the Indicators API path, §3.3).
+// assignments and one composite automated quality score.
+//
+// The engine is built for the real-time evaluation path (§3.3): each
+// article's title and body go through one shared textutil.Analysis pass
+// (tokens, stems, syllables, sentence boundaries, stop-word flags) that
+// all indicator families consume, independent families run concurrently on
+// a bounded compute.Pool worker set, and a sharded LRU cache keyed by
+// document content hash — with singleflight de-duplication — makes
+// repeated and concurrent evaluations of the same article cheap.
 package indicators
 
 import (
 	"errors"
-	"sync"
 
 	"repro/internal/classify"
+	"repro/internal/compute"
 	"repro/internal/contentind"
 	"repro/internal/extract"
 	"repro/internal/outlets"
 	"repro/internal/refind"
 	"repro/internal/socialind"
+	"repro/internal/textutil"
 	"repro/internal/topics"
 )
 
@@ -43,6 +50,12 @@ type Report struct {
 	Composite float64
 }
 
+// parallelBodyThreshold is the body size (bytes) below which the engine
+// evaluates sequentially: for tiny documents the fan-out overhead exceeds
+// the win from overlapping the analysis pass with reference
+// classification.
+const parallelBodyThreshold = 512
+
 // Engine computes indicator reports. Create with NewEngine; attach trained
 // models with SetClickbaitModel / SetStanceModel. Safe for concurrent use.
 type Engine struct {
@@ -51,11 +64,8 @@ type Engine struct {
 	stance  *socialind.StanceClassifier
 	tagger  *topics.Tagger
 
-	mu    sync.Mutex
-	cache map[string]*Report
-	order []string
-	// CacheSize bounds the evaluation cache (default 1024; 0 disables).
-	cacheSize int
+	pool  *compute.Pool // nil = sequential family evaluation
+	cache *reportCache  // nil = caching disabled
 }
 
 // Config configures NewEngine.
@@ -66,9 +76,14 @@ type Config struct {
 	// Taxonomy is the supervised topic taxonomy (default:
 	// topics.DefaultTaxonomy()).
 	Taxonomy *topics.Taxonomy
-	// CacheSize bounds the per-URL report cache (default 1024; negative
-	// disables caching).
+	// CacheSize bounds the report cache, keyed by document content hash
+	// (default 1024; negative disables caching).
 	CacheSize int
+	// Workers bounds the workers used per evaluation to overlap
+	// independent indicator families (default 2; 1 or negative forces
+	// sequential evaluation). The bound is per evaluation, not
+	// engine-wide: concurrent requests each get their own worker set.
+	Workers int
 }
 
 // NewEngine builds an engine.
@@ -83,17 +98,23 @@ func NewEngine(cfg Config) *Engine {
 	if size == 0 {
 		size = 1024
 	}
-	if size < 0 {
-		size = 0
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 2
 	}
-	return &Engine{
-		content:   contentind.NewAnalyzer(),
-		refs:      refind.NewClassifier(cfg.Registry),
-		stance:    socialind.NewStanceClassifier(),
-		tagger:    topics.NewTagger(cfg.Taxonomy),
-		cache:     make(map[string]*Report),
-		cacheSize: size,
+	e := &Engine{
+		content: contentind.NewAnalyzer(),
+		refs:    refind.NewClassifier(cfg.Registry),
+		stance:  socialind.NewStanceClassifier(),
+		tagger:  topics.NewTagger(cfg.Taxonomy),
 	}
+	if size > 0 {
+		e.cache = newReportCache(size)
+	}
+	if workers > 1 {
+		e.pool = compute.NewPool(workers, 0)
+	}
+	return e
 }
 
 // SetClickbaitModel attaches a trained clickbait classifier.
@@ -122,34 +143,90 @@ func (e *Engine) Tagger() *topics.Tagger { return e.tagger }
 func (e *Engine) Stance() *socialind.StanceClassifier { return e.stance }
 
 // Evaluate computes the full report for an article document. cascade may
-// be nil (content + context indicators only). Results for the same URL are
-// cached until a model changes; pass url == "" to bypass the cache.
+// be nil (content + context indicators only). The cascade-independent part
+// of the report is cached by document content hash (and evaluation URL);
+// concurrent evaluations of the same never-seen document run the pipeline
+// once and share the result.
 func (e *Engine) Evaluate(doc, url string, cascade []socialind.Post) (*Report, error) {
-	if url != "" && len(cascade) == 0 {
-		if r := e.cached(url); r != nil {
-			return r, nil
-		}
+	base, err := e.baseReport(doc, url)
+	if err != nil {
+		return nil, err
 	}
+	if len(cascade) == 0 {
+		return base, nil
+	}
+	return e.withCascade(base, cascade), nil
+}
+
+// withCascade layers the cascade-dependent social indicators over a copy
+// of the (possibly cached) base report — social depends on the cascade,
+// never on the document, so the base is shared untouched.
+func (e *Engine) withCascade(base *Report, cascade []socialind.Post) *Report {
+	r := *base
+	r.Social = e.stance.Analyze(cascade)
+	r.Composite = Composite(&r)
+	return &r
+}
+
+// baseReport returns the cascade-independent report for (doc, url),
+// through the cache + singleflight layer when caching is enabled.
+func (e *Engine) baseReport(doc, url string) (*Report, error) {
+	if e.cache == nil {
+		return e.computeBase(doc, url)
+	}
+	return e.cache.getOrCompute(keyFor(doc, url), func() (*Report, error) {
+		return e.computeBase(doc, url)
+	})
+}
+
+// computeBase parses the document and evaluates the cascade-independent
+// indicator families.
+func (e *Engine) computeBase(doc, url string) (*Report, error) {
 	art, err := extract.Parse(doc, url)
 	if err != nil {
 		return nil, errors.Join(ErrNoArticle, err)
 	}
-	r := e.EvaluateArticle(art, cascade)
-	if url != "" && len(cascade) == 0 {
-		e.store(url, r)
-	}
-	return r, nil
+	return e.evaluateBase(art), nil
 }
 
 // EvaluateArticle computes the report for an already-extracted article.
+// It always evaluates (no caching): use Evaluate for the cached real-time
+// path.
 func (e *Engine) EvaluateArticle(art *extract.Article, cascade []socialind.Post) *Report {
-	r := &Report{Article: art}
-	r.Content = e.content.Analyze(art)
-	r.Context = e.refs.Analyze(art)
+	r := e.evaluateBase(art)
 	if len(cascade) > 0 {
-		r.Social = e.stance.Analyze(cascade)
+		return e.withCascade(r, cascade)
 	}
-	r.Topics = e.tagger.Tag(art.Title + " " + art.Body)
+	return r
+}
+
+// evaluateBase runs the shared analysis pass and the cascade-independent
+// indicator families (content, context, topics). The body analysis — the
+// dominant cost — overlaps with title analysis and reference
+// classification on the engine's worker pool for non-trivial documents.
+func (e *Engine) evaluateBase(art *extract.Article) *Report {
+	r := &Report{Article: art}
+	var titleA, bodyA *textutil.Analysis
+	if e.pool != nil && len(art.Body) >= parallelBodyThreshold {
+		// The tasks are infallible; Run is used purely for its bounded
+		// parallel execution.
+		_ = compute.Run(e.pool,
+			func() error { bodyA = textutil.NewAnalysis(art.Body); return nil },
+			func() error {
+				titleA = textutil.NewAnalysis(art.Title)
+				r.Context = e.refs.Analyze(art)
+				return nil
+			})
+	} else {
+		bodyA = textutil.NewAnalysis(art.Body)
+		titleA = textutil.NewAnalysis(art.Title)
+		r.Context = e.refs.Analyze(art)
+	}
+	r.Content = e.content.AnalyzeDoc(art, titleA, bodyA)
+	stems := make([]string, 0, titleA.ContentWordCount()+bodyA.ContentWordCount())
+	stems = titleA.AppendContentStems(stems)
+	stems = bodyA.AppendContentStems(stems)
+	r.Topics = e.tagger.TagStems(stems)
 	r.Composite = Composite(r)
 	return r
 }
@@ -187,45 +264,17 @@ func boolScore(b bool) float64 {
 	return 0
 }
 
-// cached returns a cache hit or nil.
-func (e *Engine) cached(url string) *Report {
-	if e.cacheSize == 0 {
-		return nil
+// CacheLen returns the number of cached reports.
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cache[url]
-}
-
-// store inserts into the FIFO-bounded cache.
-func (e *Engine) store(url string, r *Report) {
-	if e.cacheSize == 0 {
-		return
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, exists := e.cache[url]; !exists {
-		e.order = append(e.order, url)
-		if len(e.order) > e.cacheSize {
-			evict := e.order[0]
-			e.order = e.order[1:]
-			delete(e.cache, evict)
-		}
-	}
-	e.cache[url] = r
+	return e.cache.len()
 }
 
 // flushCache clears the cache (models changed).
 func (e *Engine) flushCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cache = make(map[string]*Report)
-	e.order = nil
-}
-
-// CacheLen returns the number of cached reports.
-func (e *Engine) CacheLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
+	if e.cache != nil {
+		e.cache.flush()
+	}
 }

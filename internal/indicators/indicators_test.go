@@ -117,16 +117,18 @@ func TestCacheBehaviour(t *testing.T) {
 	if e.CacheLen() != 2 {
 		t.Errorf("cache len after eviction: %d", e.CacheLen())
 	}
-	// Cascade evaluations bypass the cache.
+	// Cascade evaluations never serve stale social data from the cache.
 	rc, _ := e.Evaluate(goodDoc, "https://a.example/1", supportCascade(3))
 	if rc.Social.Reach.Posts == 0 {
 		t.Error("cascade evaluation served stale cache")
 	}
-	// Empty URL bypasses cache.
-	before := e.CacheLen()
-	e.Evaluate(goodDoc, "", nil)
-	if e.CacheLen() != before {
-		t.Error("empty URL cached")
+	// The cache is keyed by document content hash, so even URL-less
+	// evaluations (the POST /api/assess path for never-seen articles)
+	// are de-duplicated.
+	ra, _ := e.Evaluate(goodDoc, "", nil)
+	rb, _ := e.Evaluate(goodDoc, "", nil)
+	if ra != rb {
+		t.Error("URL-less evaluation missed the content-hash cache")
 	}
 	// Model change flushes.
 	e.SetStanceModel(nil)

@@ -82,7 +82,12 @@ var forwardReferences = []string{
 // ClickbaitPhraseHits returns how many known clickbait cue phrases occur in
 // the (case-insensitive) headline.
 func ClickbaitPhraseHits(headline string) int {
-	h := strings.ToLower(headline)
+	return ClickbaitPhraseHitsLower(strings.ToLower(headline))
+}
+
+// ClickbaitPhraseHitsLower is ClickbaitPhraseHits for an already
+// lower-cased headline (shared-analysis callers lower-case once).
+func ClickbaitPhraseHitsLower(h string) int {
 	hits := 0
 	for _, p := range clickbaitPhrases {
 		if strings.Contains(h, p) {
@@ -95,14 +100,24 @@ func ClickbaitPhraseHits(headline string) int {
 // IsClickbaitWord reports whether the word (stemmed) is a single-word
 // clickbait cue.
 func IsClickbaitWord(word string) bool {
-	_, ok := clickbaitWords[stemLower(word)]
+	return IsClickbaitStem(stemLower(word))
+}
+
+// IsClickbaitStem is IsClickbaitWord for an already-stemmed word.
+func IsClickbaitStem(stem string) bool {
+	_, ok := clickbaitWords[stem]
 	return ok
 }
 
 // ForwardReferenceHits counts forward-reference constructions in the
 // headline ("you won't believe what THIS does").
 func ForwardReferenceHits(headline string) int {
-	h := strings.ToLower(headline)
+	return ForwardReferenceHitsLower(strings.ToLower(headline))
+}
+
+// ForwardReferenceHitsLower is ForwardReferenceHits for an already
+// lower-cased headline.
+func ForwardReferenceHitsLower(h string) int {
 	hits := 0
 	for _, p := range forwardReferences {
 		if strings.Contains(h, p) {

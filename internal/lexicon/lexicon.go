@@ -91,7 +91,13 @@ var weakSubjective = map[string]Polarity{
 // LookupSubjectivity returns the subjectivity entry for a word (any
 // inflection; the lookup stems the input) and whether the word is a clue.
 func LookupSubjectivity(word string) (SubjectivityEntry, bool) {
-	stem := textutil.Stem(word)
+	return SubjectivityByStem(textutil.Stem(word))
+}
+
+// SubjectivityByStem is LookupSubjectivity for an already-stemmed word —
+// the entry point for callers holding a shared textutil.Analysis, which
+// stems each word exactly once.
+func SubjectivityByStem(stem string) (SubjectivityEntry, bool) {
 	if pol, ok := strongSubjective[stem]; ok {
 		return SubjectivityEntry{Strong: true, Pol: pol}, true
 	}
@@ -126,13 +132,19 @@ var boosters = map[string]struct{}{
 }
 
 // IsHedge reports whether the word (stemmed) is an uncertainty hedge.
-func IsHedge(word string) bool {
-	_, ok := hedges[textutil.Stem(word)]
+func IsHedge(word string) bool { return IsHedgeStem(textutil.Stem(word)) }
+
+// IsHedgeStem is IsHedge for an already-stemmed word.
+func IsHedgeStem(stem string) bool {
+	_, ok := hedges[stem]
 	return ok
 }
 
 // IsBooster reports whether the word (stemmed) is a certainty booster.
-func IsBooster(word string) bool {
-	_, ok := boosters[textutil.Stem(word)]
+func IsBooster(word string) bool { return IsBoosterStem(textutil.Stem(word)) }
+
+// IsBoosterStem is IsBooster for an already-stemmed word.
+func IsBoosterStem(stem string) bool {
+	_, ok := boosters[stem]
 	return ok
 }

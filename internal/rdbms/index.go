@@ -66,6 +66,25 @@ func (h *hashIdx) lookup(v Value) []int {
 	return out
 }
 
+// lookupOne returns one matching row id without allocating the id slice —
+// the primary-key fast path, where at most one row matches.
+func (h *hashIdx) lookupOne(v Value) (int, bool) {
+	for id := range h.m[v.hashKey()] {
+		return id, true
+	}
+	return 0, false
+}
+
+// each invokes fn with every matching row id, without allocating; fn
+// returns false to stop early.
+func (h *hashIdx) each(v Value, fn func(rowID int) bool) {
+	for id := range h.m[v.hashKey()] {
+		if !fn(id) {
+			return
+		}
+	}
+}
+
 func (h *hashIdx) scanRange(lo, hi *Value, fn func(Value, int) bool) error {
 	return ErrTypeMismatch // hash indexes cannot range-scan
 }

@@ -129,11 +129,45 @@ func (t *Table) insertLocked(r Row, logWAL bool) (int, error) {
 func (t *Table) Get(pk Value) (Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	ids := t.pkIdx.lookup(pk)
-	if len(ids) == 0 {
+	id, ok := t.pkIdx.lookupOne(pk)
+	if !ok {
 		return nil, fmt.Errorf("pk %v: %w", pk, ErrNotFound)
 	}
-	return t.heap[ids[0]].Clone(), nil
+	return t.heap[id].Clone(), nil
+}
+
+// View invokes fn with the row stored under the given primary key, under
+// the table's read lock and without cloning — the zero-allocation read
+// path for real-time request serving. fn must not retain or modify the
+// row (or any value inside it) after returning.
+func (t *Table) View(pk Value, fn func(Row)) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.pkIdx.lookupOne(pk)
+	if !ok {
+		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	fn(t.heap[id])
+	return nil
+}
+
+// ViewEq invokes fn with each row whose indexed column equals v, under the
+// table's read lock and without cloning; fn returns false to stop early.
+// The column must have a secondary index. fn must not retain or modify
+// rows after returning.
+func (t *Table) ViewEq(col string, v Value, fn func(Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return fmt.Errorf("no index on %q: %w", col, ErrNotFound)
+	}
+	h, ok := idx.(*hashIdx)
+	if !ok {
+		return fmt.Errorf("index on %q is not a hash index: %w", col, ErrTypeMismatch)
+	}
+	h.each(v, func(id int) bool { return fn(t.heap[id]) })
+	return nil
 }
 
 // Update replaces the row with the given primary key. The new row keeps

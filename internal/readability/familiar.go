@@ -51,13 +51,26 @@ var familiarStems = map[string]struct{}{
 // Dale–Chall approximation.
 func IsFamiliarWord(word string) bool {
 	w := strings.ToLower(word)
-	if textutil.IsStopword(w) {
+	if textutil.IsStopwordLower(w) {
 		return true
 	}
-	if len(w) <= 4 && textutil.SyllableCount(w) == 1 {
+	if len(w) <= 4 && textutil.SyllableCountLower(w) == 1 {
 		return true
 	}
 	_, ok := familiarStems[textutil.Stem(w)]
+	return ok
+}
+
+// familiarParts is IsFamiliarWord over precomputed word parts (lowered
+// form, stem, syllable count, stop-word flag) from a shared analysis.
+func familiarParts(lower, stem string, syllables int, stop bool) bool {
+	if stop {
+		return true
+	}
+	if len(lower) <= 4 && syllables == 1 {
+		return true
+	}
+	_, ok := familiarStems[stem]
 	return ok
 }
 

@@ -58,6 +58,33 @@ func Analyze(text string) Stats {
 	return s
 }
 
+// AnalyzeDoc computes the same statistics as Analyze from a shared
+// single-pass document analysis, without re-tokenising, re-stemming or
+// re-counting syllables.
+func AnalyzeDoc(a *textutil.Analysis) Stats {
+	var s Stats
+	s.Words = len(a.Words)
+	s.Letters = a.Letters
+	for i := range a.Words {
+		w := &a.Words[i]
+		s.Syllables += w.Syllables
+		if w.Syllables >= 3 {
+			s.Polysyllables++
+		}
+		if !familiarParts(w.Lower, w.Stem, w.Syllables, w.Stop) {
+			s.DifficultWords++
+		}
+	}
+	s.Sentences = a.SentenceCount
+	if s.Words > 0 && s.Sentences == 0 {
+		s.Sentences = 1
+	}
+	return s
+}
+
+// ScoreDoc is the shared-analysis analogue of Score: AnalyzeDoc + Compute.
+func ScoreDoc(a *textutil.Analysis) Scores { return Compute(AnalyzeDoc(a)) }
+
 // Scores bundles the readability metrics for one text.
 type Scores struct {
 	// FleschReadingEase: 0 (very hard) .. ~100 (very easy). News prose is

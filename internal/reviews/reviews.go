@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -134,7 +135,31 @@ type Store struct {
 	byID    map[int64]*Review
 	byArt   map[string][]int64
 	byRater map[string][]int64
+
+	// aggCache memoises AggregateAt results: the real-time assessment
+	// path re-aggregates the same article constantly, usually against a
+	// pinned clock. Entries are validated against version (bumped on
+	// every Submit) and the exact query time.
+	version  atomic.Uint64
+	aggMu    sync.Mutex
+	aggCache map[string]aggCacheEntry
 }
+
+// aggCacheEntry is one memoised aggregate (or not-found result).
+type aggCacheEntry struct {
+	version uint64
+	at      time.Time
+	agg     Aggregate
+	err     error
+}
+
+// aggCacheLimit bounds the memo; live deployments query with a moving
+// clock, so stale entries are displaced rather than accumulated.
+const aggCacheLimit = 4096
+
+// errNoReviews is the allocation-free not-found result for unreviewed
+// articles on the assessment hot path.
+var errNoReviews = fmt.Errorf("article has no reviews: %w", ErrNotFound)
 
 // NewStore returns an empty store with the default 30-day half-life.
 func NewStore() *Store {
@@ -143,6 +168,7 @@ func NewStore() *Store {
 		byID:     make(map[int64]*Review),
 		byArt:    make(map[string][]int64),
 		byRater:  make(map[string][]int64),
+		aggCache: make(map[string]aggCacheEntry),
 	}
 }
 
@@ -165,6 +191,7 @@ func (s *Store) Submit(r Review) (int64, error) {
 	s.byID[r.ID] = &cp
 	s.byArt[r.ArticleID] = append(s.byArt[r.ArticleID], r.ID)
 	s.byRater[r.Reviewer] = append(s.byRater[r.Reviewer], r.ID)
+	s.version.Add(1) // invalidate memoised aggregates
 	return r.ID, nil
 }
 
@@ -212,13 +239,59 @@ func (s *Store) Count() int {
 	return len(s.byID)
 }
 
+// aggCacheTolerance is how far a memoised aggregate's compute time may
+// drift from the query time and still be served. One second of extra
+// review age changes a weight by a factor of 2^(-1s/30d) ≈ 1-3e-7 —
+// far below display precision — while letting the memo hit under a live
+// time.Now clock, not only under pinned test clocks.
+const aggCacheTolerance = time.Second
+
 // AggregateAt computes the weighted, time-sensitive aggregate for an
 // article as of time now. Review weight = ReviewerWeight *
-// 2^(-age/HalfLife); future-dated reviews count as fresh.
+// 2^(-age/HalfLife); future-dated reviews count as fresh. Results are
+// memoised per article, validated against the store version (bumped on
+// every Submit) and the query time (within aggCacheTolerance): the
+// assessment hot path re-aggregates the same articles on every request.
 func (s *Store) AggregateAt(articleID string, now time.Time) (Aggregate, error) {
+	// Fast path for unreviewed articles — the overwhelmingly common case
+	// on live traffic — without touching the memo lock or allocating a
+	// per-call error.
+	s.mu.RLock()
+	unreviewed := len(s.byArt[articleID]) == 0
+	s.mu.RUnlock()
+	if unreviewed {
+		return Aggregate{}, errNoReviews
+	}
+	version := s.version.Load()
+	s.aggMu.Lock()
+	if e, ok := s.aggCache[articleID]; ok && e.version == version {
+		if d := now.Sub(e.at); d >= -aggCacheTolerance && d <= aggCacheTolerance {
+			s.aggMu.Unlock()
+			return e.agg, e.err
+		}
+	}
+	s.aggMu.Unlock()
+	agg, err := s.aggregateAtSlow(articleID, now)
+	s.aggMu.Lock()
+	if len(s.aggCache) >= aggCacheLimit {
+		// Displace an arbitrary entry; the memo is a bounded working set,
+		// not an authoritative store.
+		for k := range s.aggCache {
+			delete(s.aggCache, k)
+			break
+		}
+	}
+	s.aggCache[articleID] = aggCacheEntry{version: version, at: now, agg: agg, err: err}
+	s.aggMu.Unlock()
+	return agg, err
+}
+
+func (s *Store) aggregateAtSlow(articleID string, now time.Time) (Aggregate, error) {
 	reviews := s.ForArticle(articleID)
 	if len(reviews) == 0 {
-		return Aggregate{}, fmt.Errorf("article %q: %w", articleID, ErrNotFound)
+		// Same error shape as the unreviewed fast path: callers see one
+		// not-found form regardless of which path produced it.
+		return Aggregate{}, errNoReviews
 	}
 	var agg Aggregate
 	agg.Count = len(reviews)

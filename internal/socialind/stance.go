@@ -1,6 +1,8 @@
 package socialind
 
 import (
+	"sync/atomic"
+
 	"repro/internal/classify"
 	"repro/internal/lexicon"
 	"repro/internal/textutil"
@@ -37,9 +39,10 @@ func (s Stance) String() string {
 
 // StanceClassifier labels reply text. The lexicon path is always
 // available; attach a trained naive Bayes model with SetModel to blend in
-// learned evidence.
+// learned evidence. The model pointer is atomic so periodic retraining
+// can swap models under live concurrent classification.
 type StanceClassifier struct {
-	model *classify.NaiveBayes
+	model atomic.Pointer[classify.NaiveBayes]
 }
 
 // NewStanceClassifier returns a lexicon-only classifier.
@@ -47,7 +50,7 @@ func NewStanceClassifier() *StanceClassifier { return &StanceClassifier{} }
 
 // SetModel attaches a naive Bayes model trained with classes "support",
 // "deny" and "comment" over stemmed tokens.
-func (c *StanceClassifier) SetModel(nb *classify.NaiveBayes) { c.model = nb }
+func (c *StanceClassifier) SetModel(nb *classify.NaiveBayes) { c.model.Store(nb) }
 
 // Tokens produces the stemmed, stopword-free token stream used both for
 // lexicon scoring and model features.
@@ -58,8 +61,8 @@ func Tokens(text string) []string {
 // Classify labels one reply.
 func (c *StanceClassifier) Classify(text string) Stance {
 	support, deny := lexiconVotes(text)
-	if c.model != nil {
-		if class, p := c.model.Predict(Tokens(text)); p > 0.5 {
+	if m := c.model.Load(); m != nil {
+		if class, p := m.Predict(Tokens(text)); p > 0.5 {
 			switch class {
 			case "support":
 				support += 2

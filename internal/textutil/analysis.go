@@ -1,0 +1,174 @@
+package textutil
+
+import "strings"
+
+// WordInfo is the per-word product of the shared analysis pass: the
+// lower-cased surface form, the Porter stem, the syllable estimate and the
+// stop-word flag, plus the index of the originating token in
+// Analysis.Tokens.
+type WordInfo struct {
+	// TokenIndex is the index of this word's token in Analysis.Tokens.
+	TokenIndex int
+	// Lower is the lower-cased surface form.
+	Lower string
+	// Stem is the Porter stem of Lower.
+	Stem string
+	// Syllables is the syllable estimate for the word.
+	Syllables int
+	// Stop reports whether the word is an English stop word.
+	Stop bool
+}
+
+// Analysis is the single-pass document profile every indicator family
+// consumes. One tokenisation pass produces the token stream, lower-cased
+// word forms, stems, syllable counts, stop-word flags, sentence count and
+// the letter/capitalisation statistics — so readability, lexicon scoring,
+// clickbait detection and topic tagging never re-scan or re-stem the same
+// text.
+//
+// Construct with NewAnalysis. A constructed Analysis is immutable except
+// for the lazily computed LowerText memo; it is safe for concurrent reads
+// but LowerText must not be called from multiple goroutines concurrently
+// unless it was forced once beforehand.
+type Analysis struct {
+	// Text is the analysed input.
+	Text string
+	// Tokens is the full token stream (words, numbers, URLs, punctuation).
+	Tokens []Token
+	// Words holds one entry per word token, in document order.
+	Words []WordInfo
+	// SentenceCount is the number of sentences in Text.
+	SentenceCount int
+	// Letters is the number of ASCII letters inside word tokens (the
+	// readability formulas' letter statistic).
+	Letters int
+	// AllCapsWords counts word tokens of length >= 2 with no lower-case
+	// letter ("SHOCKING").
+	AllCapsWords int
+	// CapitalizedWords counts word tokens starting with an upper-case
+	// ASCII letter.
+	CapitalizedWords int
+
+	lowered    string
+	hasLowered bool
+}
+
+// wordData is the memoised per-unique-word computation: documents repeat
+// words constantly, so each distinct lower-cased form is stemmed, syllable
+// counted and stop-word checked exactly once per analysis.
+type wordData struct {
+	stem string
+	syll int
+	stop bool
+}
+
+// NewAnalysis runs the shared analysis pass over text.
+func NewAnalysis(text string) *Analysis {
+	a := &Analysis{Text: text}
+	a.Tokens = Tokenize(text)
+	nw := 0
+	for i := range a.Tokens {
+		if a.Tokens[i].Kind == KindWord {
+			nw++
+		}
+	}
+	if nw > 0 {
+		a.Words = make([]WordInfo, 0, nw)
+	}
+	seen := make(map[string]wordData, nw)
+	for i := range a.Tokens {
+		t := &a.Tokens[i]
+		if t.Kind != KindWord {
+			continue
+		}
+		allCaps := len(t.Text) >= 2
+		for _, r := range t.Text {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+				a.Letters++
+			}
+			if r >= 'a' && r <= 'z' {
+				allCaps = false
+			}
+		}
+		if allCaps {
+			a.AllCapsWords++
+		}
+		if c := t.Text[0]; c >= 'A' && c <= 'Z' {
+			a.CapitalizedWords++
+		}
+		lower := lowerFast(t.Text)
+		d, ok := seen[lower]
+		if !ok {
+			d = wordData{
+				stem: Stem(lower),
+				syll: SyllableCountLower(lower),
+				stop: IsStopwordLower(lower),
+			}
+			seen[lower] = d
+		}
+		a.Words = append(a.Words, WordInfo{
+			TokenIndex: i,
+			Lower:      lower,
+			Stem:       d.stem,
+			Syllables:  d.syll,
+			Stop:       d.stop,
+		})
+	}
+	a.SentenceCount = SentenceCount(text)
+	return a
+}
+
+// LowerText returns the lower-cased input, computed once and memoised
+// (phrase-level lexicon matching runs on it).
+func (a *Analysis) LowerText() string {
+	if !a.hasLowered {
+		a.lowered = strings.ToLower(a.Text)
+		a.hasLowered = true
+	}
+	return a.lowered
+}
+
+// WordStrings returns the lower-cased word forms as a fresh slice — the
+// same value Words(a.Text) produces, without re-tokenising.
+func (a *Analysis) WordStrings() []string {
+	out := make([]string, len(a.Words))
+	for i := range a.Words {
+		out[i] = a.Words[i].Lower
+	}
+	return out
+}
+
+// AppendContentStems appends the stems of the non-stop-word tokens to dst
+// and returns it — the StemAll(ContentWords(text)) preprocessing, served
+// from the shared pass.
+func (a *Analysis) AppendContentStems(dst []string) []string {
+	for i := range a.Words {
+		if !a.Words[i].Stop {
+			dst = append(dst, a.Words[i].Stem)
+		}
+	}
+	return dst
+}
+
+// ContentWordCount returns the number of non-stop-word tokens.
+func (a *Analysis) ContentWordCount() int {
+	n := 0
+	for i := range a.Words {
+		if !a.Words[i].Stop {
+			n++
+		}
+	}
+	return n
+}
+
+// lowerFast returns strings.ToLower(s) while skipping the scan-and-copy
+// for the common all-ASCII-lower-case token.
+func lowerFast(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if ('A' <= c && c <= 'Z') || c >= 0x80 {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}

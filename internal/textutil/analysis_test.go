@@ -1,0 +1,115 @@
+package textutil
+
+import "testing"
+
+func TestNewAnalysisMatchesIndividualPasses(t *testing.T) {
+	texts := []string{
+		"",
+		"Doctors HATE this one weird trick! Can't you believe it?",
+		"The peer-reviewed study (published 2020-01-15) examined 1,234 patients.\n\nDr. Smith said the results were preliminary. See https://nature.com/x.",
+		"Ünïcode wörds AND ALLCAPS tokens mixed with lowercase prose.",
+	}
+	for _, text := range texts {
+		a := NewAnalysis(text)
+		toks := Tokenize(text)
+		if len(a.Tokens) != len(toks) {
+			t.Fatalf("%q: token count %d != %d", text, len(a.Tokens), len(toks))
+		}
+		words := Words(text)
+		if len(a.Words) != len(words) {
+			t.Fatalf("%q: word count %d != %d", text, len(a.Words), len(words))
+		}
+		for i, w := range a.Words {
+			if w.Lower != words[i] {
+				t.Errorf("%q word %d: lower %q != %q", text, i, w.Lower, words[i])
+			}
+			if w.Stem != Stem(words[i]) {
+				t.Errorf("%q word %d: stem %q != %q", text, i, w.Stem, Stem(words[i]))
+			}
+			if w.Syllables != SyllableCount(words[i]) {
+				t.Errorf("%q word %d: syllables %d != %d", text, i, w.Syllables, SyllableCount(words[i]))
+			}
+			if w.Stop != IsStopword(words[i]) {
+				t.Errorf("%q word %d: stop %v != %v", text, i, w.Stop, IsStopword(words[i]))
+			}
+			if a.Tokens[w.TokenIndex].Kind != KindWord {
+				t.Errorf("%q word %d: TokenIndex %d is not a word token", text, i, w.TokenIndex)
+			}
+		}
+		if a.SentenceCount != SentenceCount(text) {
+			t.Errorf("%q: sentences %d != %d", text, a.SentenceCount, SentenceCount(text))
+		}
+		if got, want := a.AllCapsWords, AllCapsWordCount(text); got != want {
+			t.Errorf("%q: all-caps %d != %d", text, got, want)
+		}
+		stems := a.AppendContentStems(nil)
+		want := StemAll(ContentWords(text))
+		if len(stems) != len(want) {
+			t.Fatalf("%q: content stems %v != %v", text, stems, want)
+		}
+		for i := range stems {
+			if stems[i] != want[i] {
+				t.Errorf("%q: content stem %d %q != %q", text, i, stems[i], want[i])
+			}
+		}
+		if a.ContentWordCount() != len(want) {
+			t.Errorf("%q: content word count %d != %d", text, a.ContentWordCount(), len(want))
+		}
+	}
+}
+
+func TestAnalysisLetterCount(t *testing.T) {
+	a := NewAnalysis("Abc de-f 123 x!")
+	// Letters inside word tokens: "Abc" (3) + "de-f" (3) + "x" (1).
+	if a.Letters != 7 {
+		t.Errorf("letters: %d, want 7", a.Letters)
+	}
+}
+
+func TestSentenceCountMatchesSentences(t *testing.T) {
+	texts := []string{
+		"",
+		"One. Two! Three?",
+		"Dr. Smith arrived. He spoke at 3.14 rad.\n\nNew paragraph here",
+	}
+	for _, text := range texts {
+		if got, want := SentenceCount(text), len(Sentences(text)); got != want {
+			t.Errorf("%q: count %d != len(Sentences) %d", text, got, want)
+		}
+	}
+}
+
+func TestIsStopwordCaseInsensitive(t *testing.T) {
+	for _, w := range []string{"the", "The", "THE", "aren't"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"virus", "Virus", ""} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+	if !IsStopwordLower("the") || IsStopwordLower("virus") {
+		t.Error("IsStopwordLower misclassified")
+	}
+}
+
+func TestSyllableCountLowerMatches(t *testing.T) {
+	for _, w := range []string{"make", "table", "don't", "science", "walked", "a", "rhythm"} {
+		if got, want := SyllableCountLower(w), SyllableCount(w); got != want {
+			t.Errorf("%q: %d != %d", w, got, want)
+		}
+	}
+}
+
+func TestTokenLowerAllocFree(t *testing.T) {
+	tok := Token{Text: "already", Kind: KindWord}
+	if allocs := testing.AllocsPerRun(100, func() { _ = tok.Lower() }); allocs != 0 {
+		t.Errorf("Lower on lower-case token allocated %v times/op", allocs)
+	}
+	up := Token{Text: "Upper", Kind: KindWord}
+	if up.Lower() != "upper" {
+		t.Error("Lower broken for upper-case input")
+	}
+}

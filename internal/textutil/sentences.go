@@ -35,6 +35,16 @@ var commonAbbreviations = map[string]bool{
 // which matters for headline-style article bodies.
 func Sentences(text string) []Sentence {
 	var out []Sentence
+	scanSentences(text, func(trimmed string, start, end int) {
+		out = append(out, Sentence{Text: trimmed, Start: start, End: end})
+	})
+	return out
+}
+
+// scanSentences runs the segmentation loop, invoking emit for every
+// non-empty sentence span. It is the allocation-free core shared by
+// Sentences and SentenceCount.
+func scanSentences(text string, emit func(trimmed string, start, end int)) {
 	start := 0
 	i := 0
 	n := len(text)
@@ -42,7 +52,7 @@ func Sentences(text string) []Sentence {
 		span := text[start:end]
 		trimmed := strings.TrimSpace(span)
 		if trimmed != "" {
-			out = append(out, Sentence{Text: trimmed, Start: start, End: end})
+			emit(trimmed, start, end)
 		}
 		start = end
 	}
@@ -92,11 +102,15 @@ func Sentences(text string) []Sentence {
 	if start < n {
 		flush(n)
 	}
-	return out
 }
 
-// SentenceCount returns the number of sentences in text.
-func SentenceCount(text string) int { return len(Sentences(text)) }
+// SentenceCount returns the number of sentences in text without building
+// the sentence slice.
+func SentenceCount(text string) int {
+	count := 0
+	scanSentences(text, func(string, int, int) { count++ })
+	return count
+}
 
 // isSentenceBoundary decides whether the period at offset i ends a
 // sentence, looking at the preceding token and the following context.

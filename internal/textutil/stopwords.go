@@ -1,7 +1,5 @@
 package textutil
 
-import "strings"
-
 // stopwordList is the standard English stop-word inventory (SMART-derived,
 // trimmed to the terms that actually occur in news prose).
 var stopwordList = []string{
@@ -38,9 +36,18 @@ var stopwordSet = func() map[string]struct{} {
 }()
 
 // IsStopword reports whether the (case-insensitive) word is an English stop
-// word.
+// word. Already-lower-cased ASCII input — the overwhelmingly common case on
+// the tokenised hot path — is looked up directly, without the per-call
+// strings.ToLower allocation.
 func IsStopword(word string) bool {
-	_, ok := stopwordSet[strings.ToLower(word)]
+	_, ok := stopwordSet[lowerFast(word)]
+	return ok
+}
+
+// IsStopwordLower is IsStopword for input known to be lower-cased already
+// (one map probe, no case scan).
+func IsStopwordLower(word string) bool {
+	_, ok := stopwordSet[word]
 	return ok
 }
 

@@ -11,7 +11,23 @@ import "strings"
 // as one syllable.
 func SyllableCount(word string) int {
 	w := strings.ToLower(word)
-	// Strip non-letters (apostrophes, hyphens): "don't" -> "dont".
+	return SyllableCountLower(w)
+}
+
+// SyllableCountLower is SyllableCount for input known to be lower-cased
+// already. Pure a-z words — the common case — are counted in place without
+// the strip-and-rebuild allocation.
+func SyllableCountLower(w string) int {
+	for i := 0; i < len(w); i++ {
+		if w[i] < 'a' || w[i] > 'z' {
+			return syllablesOfStripped(stripNonLetters(w))
+		}
+	}
+	return syllablesOfStripped(w)
+}
+
+// stripNonLetters removes everything outside a-z: "don't" -> "dont".
+func stripNonLetters(w string) string {
 	var b strings.Builder
 	b.Grow(len(w))
 	for _, r := range w {
@@ -19,7 +35,12 @@ func SyllableCount(word string) int {
 			b.WriteRune(r)
 		}
 	}
-	w = b.String()
+	return b.String()
+}
+
+// syllablesOfStripped counts syllables of an all-lower-case, letters-only
+// word.
+func syllablesOfStripped(w string) int {
 	if w == "" {
 		return 1
 	}

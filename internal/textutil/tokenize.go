@@ -76,8 +76,10 @@ func (t Token) IsWordLike() bool {
 	return t.Kind == KindWord || t.Kind == KindNumber
 }
 
-// Lower returns the lower-cased surface form of the token.
-func (t Token) Lower() string { return strings.ToLower(t.Text) }
+// Lower returns the lower-cased surface form of the token. Tokens that are
+// already lower-case ASCII — most word tokens in running text — are
+// returned as-is without allocating.
+func (t Token) Lower() string { return lowerFast(t.Text) }
 
 // Tokenize splits text into tokens. It recognises words (with internal
 // apostrophes/hyphens), numbers (with internal , . - : separators), URLs,

@@ -150,7 +150,13 @@ func (g *Tagger) scores(stems []string) []float64 {
 // parents added transitively with at least their child's probability.
 // Results are sorted by probability descending, ties by name.
 func (g *Tagger) Tag(text string) []Assignment {
-	stems := textutil.StemAll(textutil.ContentWords(text))
+	return g.TagStems(textutil.StemAll(textutil.ContentWords(text)))
+}
+
+// TagStems assigns topics to a document given its preprocessed content-word
+// stems (stop words removed, Porter-stemmed) — the entry point for callers
+// holding a shared textutil.Analysis, which produces exactly that stream.
+func (g *Tagger) TagStems(stems []string) []Assignment {
 	raw := g.scores(stems)
 	// Softmax including an implicit "none" topic with score 0 so documents
 	// with no seed hits at all spread probability onto nothing.
