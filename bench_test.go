@@ -447,3 +447,30 @@ func mustCluster(b *testing.B) *dfs.Cluster {
 	}
 	return c
 }
+
+// BenchmarkReindexCorpus measures whole-corpus batch re-evaluation (the
+// post-retraining re-indexing job) at different compute-pool widths,
+// reporting article throughput. The fixture's models are unchanged between
+// iterations, so every run streams the full document store through the
+// indicator pipeline and rewrites nothing — isolating evaluation + store
+// traversal, the dominant cost of a real reindex.
+func BenchmarkReindexCorpus(b *testing.B) {
+	p, w := benchFixture(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			pool := compute.NewPool(workers, 1)
+			for i := 0; i < b.N; i++ {
+				rep, err := p.ReindexCorpus(pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Articles != len(w.Articles) {
+					b.Fatalf("reindexed %d of %d", rep.Articles, len(w.Articles))
+				}
+			}
+			b.StopTimer()
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(len(w.Articles))/perOp, "articles/s")
+		})
+	}
+}

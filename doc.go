@@ -41,6 +41,22 @@
 // path — run the pipeline once. The stored-assessment path reads rows in
 // place (rdbms.Table.View) and memoises expert-review aggregates.
 //
+// # Batch re-indexing after model retraining
+//
+// Stored per-article indicator columns are computed with whatever models
+// were live at ingest time, so a periodic retrain (TrainClickbaitModel,
+// TrainStanceModel) would leave every already-ingested row stale. The
+// platform therefore retains each article's source markup in a document
+// store and exposes Platform.ReindexCorpus: a batch job that streams the
+// whole corpus through the same single-pass indicator pipeline
+// (Engine.EvaluateBatch, partition-parallel on the compute layer),
+// rewrites the content/context/composite columns with one atomic
+// read-modify-write per row (rdbms.Table.Mutate), re-classifies the
+// stored reply stances and reconciles the social stance aggregates with
+// per-article deltas — all while the real-time assessment paths keep
+// serving. Training jobs accept WithReindex to run the re-index as part
+// of the retrain, and the HTTP layer exposes it as POST /api/reindex.
+//
 // Everything is deterministic for a fixed seed and uses only the Go
 // standard library.
 package scilens

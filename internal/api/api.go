@@ -15,15 +15,68 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/outlets"
 	"repro/internal/reviews"
 	"repro/internal/synth"
 )
+
+// Request-body size limits per endpoint family. POST /api/assess carries a
+// whole article document; the others are small control payloads.
+const (
+	maxAssessBody  = 4 << 20 // arbitrary-document evaluation (full HTML)
+	maxControlBody = 1 << 20 // batch / review / admin requests
+)
+
+// decodeJSON reads one JSON document from the request body into v, bounded
+// by limit. Oversized bodies get 413, malformed JSON and trailing garbage
+// after the document get 400; in every error case the response has already
+// been written and the caller just returns.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	return decodeJSONBody(w, r, limit, v, false)
+}
+
+// decodeJSONAllowEmpty is decodeJSON for endpoints where an absent body
+// means "use defaults": a body that is empty (whatever the declared
+// ContentLength — chunked requests report -1) leaves v untouched.
+func decodeJSONAllowEmpty(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	return decodeJSONBody(w, r, limit, v, true)
+}
+
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any, allowEmpty bool) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		if allowEmpty && errors.Is(err, io.EOF) {
+			return true // empty body: caller's defaults stand
+		}
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
 
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,8 +184,7 @@ type assessTopicPayload struct {
 
 func (s *AssessmentService) handleAssessDocument(w http.ResponseWriter, r *http.Request) {
 	var req assessRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeJSON(w, r, maxAssessBody, &req) {
 		return
 	}
 	if req.HTML == "" {
@@ -171,7 +223,8 @@ type batchRequest struct {
 }
 
 // batchResponse carries per-ID results; unknown IDs are reported in
-// Missing rather than failing the whole batch.
+// Missing rather than failing the whole batch. Duplicate requested IDs are
+// assessed once and appear once, in first-occurrence request order.
 type batchResponse struct {
 	Assessments []*core.Assessment `json:"assessments"`
 	Missing     []string           `json:"missing,omitempty"`
@@ -181,8 +234,7 @@ const maxBatchSize = 256
 
 func (s *AssessmentService) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeJSON(w, r, maxControlBody, &req) {
 		return
 	}
 	if len(req.IDs) == 0 {
@@ -194,18 +246,44 @@ func (s *AssessmentService) handleAssessBatch(w http.ResponseWriter, r *http.Req
 			fmt.Errorf("batch too large: %d > %d", len(req.IDs), maxBatchSize))
 		return
 	}
-	resp := batchResponse{Assessments: make([]*core.Assessment, 0, len(req.IDs))}
+	// Deduplicate, keeping first-occurrence order, then fan the store
+	// lookups out on the platform's compute pool. compute.Map preserves
+	// partition order, so the collected results line up with ids.
+	seen := make(map[string]struct{}, len(req.IDs))
+	ids := make([]string, 0, len(req.IDs))
 	for _, id := range req.IDs {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
+	}
+	type lookup struct {
+		id string
+		a  *core.Assessment
+	}
+	ds := compute.FromSlice(ids, s.platform.Compute.Workers())
+	results, err := compute.Map(s.platform.Compute, ds, func(id string) (lookup, error) {
 		a, err := s.platform.AssessID(id)
 		if err != nil {
 			if errors.Is(err, core.ErrNotIngested) {
-				resp.Missing = append(resp.Missing, id)
-				continue
+				return lookup{id: id}, nil // reported in Missing
 			}
-			writeError(w, http.StatusInternalServerError, err)
-			return
+			return lookup{}, err
 		}
-		resp.Assessments = append(resp.Assessments, a)
+		return lookup{id: id, a: a}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := batchResponse{Assessments: make([]*core.Assessment, 0, len(ids))}
+	for _, l := range results.Collect() {
+		if l.a == nil {
+			resp.Missing = append(resp.Missing, l.id)
+			continue
+		}
+		resp.Assessments = append(resp.Assessments, l.a)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -240,7 +318,11 @@ type activityResponse struct {
 }
 
 func (s *InsightsService) handleActivity(w http.ResponseWriter, r *http.Request) {
-	days := queryInt(r, "days", synth.WindowDays)
+	days, err := queryInt(r, "days", synth.WindowDays)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	start := synth.WindowStart
 	if v := r.URL.Query().Get("start"); v != "" {
 		t, err := time.Parse("2006-01-02", v)
@@ -291,7 +373,12 @@ func densitiesPayload(ds []analytics.ClassDensity) []densityResponse {
 }
 
 func (s *InsightsService) handleEngagement(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.platform.Figure5Engagement(queryInt(r, "points", 128))
+	points, err := queryInt(r, "points", 128)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, err := s.platform.Figure5Engagement(points)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -300,7 +387,12 @@ func (s *InsightsService) handleEngagement(w http.ResponseWriter, r *http.Reques
 }
 
 func (s *InsightsService) handleEvidence(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.platform.Figure5Evidence(queryInt(r, "points", 128))
+	points, err := queryInt(r, "points", 128)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, err := s.platform.Figure5Evidence(points)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -309,9 +401,19 @@ func (s *InsightsService) handleEvidence(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *InsightsService) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	raters, err := queryInt(r, "raters", 12)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := queryInt(r, "seed", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	res, err := s.platform.RunConsensusExperiment(analytics.ConsensusConfig{
-		Raters: queryInt(r, "raters", 12),
-		Seed:   int64(queryInt(r, "seed", 1)),
+		Raters: raters,
+		Seed:   int64(seed),
 	})
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -342,7 +444,11 @@ type outletQualityResponse struct {
 // handleOutletQuality serves the review-derived outlet quality
 // segmentation (§3.3: outlet quality "computed using the expert reviews").
 func (s *InsightsService) handleOutletQuality(w http.ResponseWriter, r *http.Request) {
-	bands := queryInt(r, "bands", 5)
+	bands, err := queryInt(r, "bands", 5)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	segments, err := s.platform.SegmentOutletsByReviewQuality(bands)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -398,8 +504,15 @@ var criterionByLabel = func() map[string]reviews.Criterion {
 
 func (s *ReviewService) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req reviewRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeJSON(w, r, maxControlBody, &req) {
+		return
+	}
+	if req.ArticleID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("article_id field required"))
+		return
+	}
+	if req.Reviewer == "" {
+		writeError(w, http.StatusBadRequest, errors.New("reviewer field required"))
 		return
 	}
 	review := reviews.Review{
@@ -457,7 +570,77 @@ func (s *ReviewService) handleList(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Server mounts all three micro-services on one mux (the demo deployment).
+// AdminService serves the operational endpoints of the platform — the
+// §3.3 maintenance loop triggered over HTTP instead of by the scheduler.
+type AdminService struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewAdminService mounts the admin endpoints.
+func NewAdminService(p *core.Platform) *AdminService {
+	s := &AdminService{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/reindex", s.handleReindex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *AdminService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// reindexRequest is the optional POST /api/reindex body.
+type reindexRequest struct {
+	// Workers overrides the compute-pool parallelism for this run
+	// (0 = the platform's shared pool).
+	Workers int `json:"workers"`
+}
+
+// reindexResponse reports one corpus re-evaluation run.
+type reindexResponse struct {
+	Articles      int     `json:"articles"`
+	Changed       int     `json:"changed"`
+	Failed        int     `json:"failed"`
+	Replies       int     `json:"replies"`
+	StanceChanged int     `json:"stance_changed"`
+	RowsPerSec    float64 `json:"rows_per_sec"`
+	DurationMS    float64 `json:"duration_ms"`
+}
+
+// handleReindex runs a synchronous corpus re-evaluation under the current
+// models — the batch half of the retrain → re-index maintenance loop.
+func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
+	var req reindexRequest
+	// An empty body — whatever the declared ContentLength — means
+	// "default run"; anything present must be valid.
+	if !decodeJSONAllowEmpty(w, r, maxControlBody, &req) {
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("workers must be non-negative"))
+		return
+	}
+	pool := s.platform.Compute
+	if req.Workers > 0 {
+		pool = compute.NewPool(req.Workers, 1)
+	}
+	rep, err := s.platform.ReindexCorpus(pool)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reindexResponse{
+		Articles:      rep.Articles,
+		Changed:       rep.Changed,
+		Failed:        rep.Failed,
+		Replies:       rep.Replies,
+		StanceChanged: rep.StanceChanged,
+		RowsPerSec:    rep.RowsPerSec,
+		DurationMS:    float64(rep.Duration.Microseconds()) / 1000,
+	})
+}
+
+// Server mounts the micro-services on one mux (the demo deployment).
 type Server struct {
 	mux *http.ServeMux
 }
@@ -468,11 +651,13 @@ func NewServer(p *core.Platform) *Server {
 	assessment := NewAssessmentService(p)
 	insights := NewInsightsService(p)
 	review := NewReviewService(p)
+	admin := NewAdminService(p)
 	s.mux.Handle("/api/assess", assessment)
 	s.mux.Handle("/api/assess/", assessment)
 	s.mux.Handle("/api/health", assessment)
 	s.mux.Handle("/api/insights/", insights)
 	s.mux.Handle("/api/reviews", review)
+	s.mux.Handle("/api/reindex", admin)
 	return s
 }
 
@@ -481,22 +666,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func queryInt(r *http.Request, key string, def int) int {
+// queryInt parses an optional integer query parameter. A missing parameter
+// yields def; malformed, overflowing or negative values yield an error
+// (the handlers answer 400). An explicit 0 is passed through unchanged —
+// the jobs behind these parameters define their own zero semantics
+// (ErrNoData for an empty window, built-in defaults for grid sizes and
+// rater pools) instead of the parameter being silently unrepresentable.
+func queryInt(r *http.Request, key string, def int) (int, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
-		return def
+		return def, nil
 	}
-	n := 0
-	for _, ch := range v {
-		if ch < '0' || ch > '9' {
-			return def
-		}
-		n = n*10 + int(ch-'0')
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q: not a valid integer", key, v)
 	}
-	if n == 0 {
-		return def
+	if n < 0 {
+		return 0, fmt.Errorf("parameter %s=%d: must be non-negative", key, n)
 	}
-	return n
+	return n, nil
 }
 
 // RatingLabels exposes the class labels for clients.

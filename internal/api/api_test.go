@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -308,18 +309,27 @@ func TestServicesWorkStandalone(t *testing.T) {
 }
 
 func TestQueryIntAndRatingLabels(t *testing.T) {
-	req := httptest.NewRequest("GET", "/x?n=25&bad=2x&zero=0", nil)
-	if queryInt(req, "n", 1) != 25 {
-		t.Error("parse")
+	req := httptest.NewRequest("GET", "/x?n=25&bad=2x&zero=0&neg=-3&huge=99999999999999999999", nil)
+	if n, err := queryInt(req, "n", 1); err != nil || n != 25 {
+		t.Errorf("parse: %d %v", n, err)
 	}
-	if queryInt(req, "bad", 7) != 7 {
-		t.Error("bad value default")
+	// Malformed, negative and overflowing values are errors (→ 400), not
+	// silent fallbacks to the default.
+	if _, err := queryInt(req, "bad", 7); err == nil {
+		t.Error("bad value should error")
 	}
-	if queryInt(req, "zero", 7) != 7 {
-		t.Error("zero default")
+	if _, err := queryInt(req, "neg", 7); err == nil {
+		t.Error("negative value should error")
 	}
-	if queryInt(req, "missing", 3) != 3 {
-		t.Error("missing default")
+	if _, err := queryInt(req, "huge", 7); err == nil {
+		t.Error("overflow should error")
+	}
+	// Explicit zero is representable now.
+	if n, err := queryInt(req, "zero", 7); err != nil || n != 0 {
+		t.Errorf("explicit zero: %d %v", n, err)
+	}
+	if n, err := queryInt(req, "missing", 3); err != nil || n != 3 {
+		t.Errorf("missing default: %d %v", n, err)
 	}
 	labels := RatingLabels()
 	if len(labels) != 5 || labels[0] != "excellent" || labels[4] != "very-poor" {
@@ -521,5 +531,239 @@ citing surveillance data. <a href="https://nature.com/articles/y">(source)</a></
 	}
 	if got := p.Engine.CacheLen(); got != before+1 {
 		t.Errorf("cache grew by %d entries, want 1", got-before)
+	}
+}
+
+// --- PR 2: body limits, strict parsing, batch fan-out, admin reindex ---
+
+func TestRequestBodyLimits(t *testing.T) {
+	_, w, srv := apiFixture(t)
+	// Oversized control body → 413.
+	big := strings.Repeat("x", maxControlBody+1024)
+	rec, _ := doJSON(t, srv, "POST", "/api/assess/batch", map[string]any{"ids": []string{big}})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch body: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "POST", "/api/reviews", map[string]any{"article_id": big})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized review body: %d", rec.Code)
+	}
+	// Oversized assess body → 413 (limit is larger: a whole document fits).
+	hugeDoc := strings.Repeat("y", maxAssessBody+1024)
+	rec, _ = doJSON(t, srv, "POST", "/api/assess", map[string]any{"html": hugeDoc})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized assess body: %d", rec.Code)
+	}
+	// A normal-sized document still works.
+	rec, _ = doJSON(t, srv, "POST", "/api/assess", map[string]any{"url": w.Articles[0].URL, "html": w.Articles[0].RawHTML})
+	if rec.Code != http.StatusOK {
+		t.Errorf("normal assess: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	_, w, srv := apiFixture(t)
+	raw, _ := json.Marshal(map[string]any{"ids": []string{w.Articles[0].ID}})
+	for _, path := range []string{"/api/assess/batch"} {
+		body := append(append([]byte{}, raw...), []byte(`{"second":"document"}`)...)
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s trailing garbage: %d", path, rec.Code)
+		}
+	}
+	// Trailing whitespace is fine.
+	body := append(append([]byte{}, raw...), []byte("\n  \n")...)
+	req := httptest.NewRequest("POST", "/api/assess/batch", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("trailing whitespace: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAssessBatchDeduplicates(t *testing.T) {
+	_, w, srv := apiFixture(t)
+	a, b := w.Articles[0].ID, w.Articles[1].ID
+	rec := httptest.NewRecorder()
+	raw, _ := json.Marshal(map[string]any{"ids": []string{a, "ghost", b, a, "ghost", b, a}})
+	req := httptest.NewRequest("POST", "/api/assess/batch", bytes.NewReader(raw))
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Assessments []core.Assessment `json:"assessments"`
+		Missing     []string          `json:"missing"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates collapse; first-occurrence request order is preserved.
+	if len(resp.Assessments) != 2 || resp.Assessments[0].ArticleID != a || resp.Assessments[1].ArticleID != b {
+		t.Errorf("assessments: %+v", resp.Assessments)
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "ghost" {
+		t.Errorf("missing: %v", resp.Missing)
+	}
+}
+
+func TestReviewSubmitRequiresIdentity(t *testing.T) {
+	_, w, srv := apiFixture(t)
+	scores := map[string]int{
+		"factual-accuracy": 4, "scientific-understanding": 4,
+		"logic-reasoning": 4, "precision-clarity": 4,
+		"sources-quality": 4, "fairness": 4, "clickbaitness": 4,
+	}
+	rec, _ := doJSON(t, srv, "POST", "/api/reviews", map[string]any{
+		"article_id": "", "reviewer": "expert", "scores": scores,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty article_id: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "POST", "/api/reviews", map[string]any{
+		"article_id": w.Articles[0].ID, "reviewer": "", "scores": scores,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty reviewer: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "POST", "/api/reviews", map[string]any{
+		"article_id": w.Articles[0].ID, "reviewer": "expert", "scores": scores,
+	})
+	if rec.Code != http.StatusCreated {
+		t.Errorf("valid review: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBadQueryParamsReturn400(t *testing.T) {
+	_, _, srv := apiFixture(t)
+	for _, path := range []string{
+		"/api/insights/activity?days=banana",
+		"/api/insights/activity?days=-1",
+		"/api/insights/engagement?points=1e3",
+		"/api/insights/consensus?raters=12.5",
+		"/api/insights/outlets?bands=99999999999999999999",
+	} {
+		rec, _ := doJSON(t, srv, "GET", path, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d", path, rec.Code)
+		}
+	}
+	// Explicit zeros are representable: the jobs fall back to their own
+	// defaults (raters=0 → 12, points=0 → 128) or report no data.
+	rec, _ := doJSON(t, srv, "GET", "/api/insights/consensus?raters=0", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("raters=0: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "GET", "/api/insights/activity?days=0", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("days=0 (empty window): %d", rec.Code)
+	}
+}
+
+func TestAdminReindexEndpoint(t *testing.T) {
+	p, w, srv := apiFixture(t)
+	pool := p.Compute
+	if _, err := p.TrainClickbaitModel(pool, 9); err != nil {
+		t.Fatal(err)
+	}
+	rec, payload := doJSON(t, srv, "POST", "/api/reindex", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reindex: %d %s", rec.Code, rec.Body.String())
+	}
+	if int(payload["articles"].(float64)) != len(w.Articles) {
+		t.Errorf("articles: %v", payload["articles"])
+	}
+	if payload["changed"].(float64) == 0 {
+		t.Errorf("expected changed rows after retrain: %v", payload)
+	}
+	if payload["rows_per_sec"].(float64) <= 0 {
+		t.Errorf("rows_per_sec: %v", payload["rows_per_sec"])
+	}
+	// After the reindex a stored assessment matches a fresh evaluation.
+	a := w.Articles[0]
+	fresh, err := p.Engine.Evaluate(a.RawHTML, a.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessment, err := p.AssessID(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assessment.Clickbait != fresh.Content.Clickbait {
+		t.Error("stored assessment still stale after POST /api/reindex")
+	}
+	// Workers override: explicit parallelism, same outcome (idempotent now).
+	rec, payload = doJSON(t, srv, "POST", "/api/reindex", map[string]any{"workers": 2})
+	if rec.Code != http.StatusOK || payload["changed"].(float64) != 0 {
+		t.Errorf("second reindex: %d %v", rec.Code, payload)
+	}
+	// Invalid workers → 400; GET → 404/405 (not mounted).
+	rec, _ = doJSON(t, srv, "POST", "/api/reindex", map[string]any{"workers": -1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("negative workers: %d", rec.Code)
+	}
+}
+
+// TestReindexConcurrentWithAssessTraffic drives POST /api/assess and GET
+// /api/assess while POST /api/reindex runs — the ISSUE's -race scenario at
+// the HTTP layer.
+func TestReindexConcurrentWithAssessTraffic(t *testing.T) {
+	p, w, srv := apiFixture(t)
+	if _, err := p.TrainClickbaitModel(p.Compute, 11); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := w.Articles[i%len(w.Articles)]
+				rec, _ := doJSON(t, srv, "GET", "/api/assess?id="+a.ID, nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("GET assess: %d", rec.Code)
+					return
+				}
+				rec, _ = doJSON(t, srv, "POST", "/api/assess", map[string]any{"url": a.URL, "html": a.RawHTML})
+				if rec.Code != http.StatusOK {
+					t.Errorf("POST assess: %d", rec.Code)
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	rec, _ := doJSON(t, srv, "POST", "/api/reindex", nil)
+	close(stop)
+	wg.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reindex under load: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReindexEmptyChunkedBody: an empty body with unknown length
+// (ContentLength -1, as with Transfer-Encoding: chunked) still gets the
+// default run rather than a 400.
+func TestReindexEmptyChunkedBody(t *testing.T) {
+	_, _, srv := apiFixture(t)
+	// A plain io.Reader (not bytes/strings.Reader) makes httptest leave
+	// ContentLength at -1.
+	req := httptest.NewRequest("POST", "/api/reindex", struct{ io.Reader }{strings.NewReader("")})
+	if req.ContentLength != -1 {
+		t.Fatalf("fixture: ContentLength = %d, want -1", req.ContentLength)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty chunked body: %d %s", rec.Code, rec.Body.String())
 	}
 }

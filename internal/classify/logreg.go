@@ -91,6 +91,12 @@ func TrainLogReg(data []Example, cfg LogRegConfig) (*LogReg, error) {
 	for i := range order {
 		order[i] = i
 	}
+	// Deterministic dot products need a sorted iteration order; sort each
+	// example's index set once instead of on every epoch's DotDense.
+	sortedIdx := make([][]int, len(data))
+	for i := range data {
+		sortedIdx[i] = data[i].X.Indices()
+	}
 	t := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -98,7 +104,7 @@ func TrainLogReg(data []Example, cfg LogRegConfig) (*LogReg, error) {
 			ex := data[idx]
 			lr := cfg.LearningRate / (1 + float64(t)*cfg.Decay)
 			t++
-			p := sigmoid(ex.X.DotDense(m.W) + m.B)
+			p := sigmoid(ex.X.DotDenseAt(sortedIdx[idx], m.W) + m.B)
 			y := 0.0
 			if ex.Y {
 				y = 1.0

@@ -137,6 +137,9 @@ func Assign(root *TopicNode, v mlcore.SparseVector, tau, minProb float64) []Topi
 	if tau <= 0 {
 		tau = 0.1
 	}
+	// The document vector is fixed for the whole walk: sort its index set
+	// and take its norm once instead of inside every child similarity.
+	doc := indexVec(v)
 	var out []TopicAssignment
 	var walk func(node *TopicNode, prob float64)
 	walk = func(node *TopicNode, prob float64) {
@@ -146,7 +149,7 @@ func Assign(root *TopicNode, v mlcore.SparseVector, tau, minProb float64) []Topi
 		sims := make([]float64, len(node.Children))
 		maxSim := math.Inf(-1)
 		for i, ch := range node.Children {
-			sims[i] = mlcore.Cosine(v, ch.Centroid) / tau
+			sims[i] = cosine(doc, indexVec(ch.Centroid)) / tau
 			if sims[i] > maxSim {
 				maxSim = sims[i]
 			}

@@ -31,6 +31,33 @@ type KMeansResult struct {
 	Inertia float64
 }
 
+// indexed pairs a sparse vector with its cached sorted index set and norm,
+// so the cosine hot loops below pay the deterministic-order sort once per
+// vector (or once per centroid per iteration) instead of on every
+// similarity.
+type indexed struct {
+	v    mlcore.SparseVector
+	idx  []int
+	norm float64
+}
+
+func indexVec(v mlcore.SparseVector) indexed {
+	idx := v.Indices()
+	return indexed{v: v, idx: idx, norm: v.NormAt(idx)}
+}
+
+func indexAll(vs []mlcore.SparseVector) []indexed {
+	out := make([]indexed, len(vs))
+	for i, v := range vs {
+		out[i] = indexVec(v)
+	}
+	return out
+}
+
+func cosine(a, b indexed) float64 {
+	return mlcore.CosineAt(a.v, a.idx, a.norm, b.v, b.idx, b.norm)
+}
+
 // KMeans runs spherical k-means (cosine distance) with k-means++ seeding.
 // maxIter <= 0 defaults to 50. The algorithm is deterministic for a given
 // seed.
@@ -46,7 +73,8 @@ func KMeans(vectors []mlcore.SparseVector, k, maxIter int, seed int64) (*KMeansR
 		maxIter = 50
 	}
 	rng := rand.New(rand.NewSource(seed))
-	centroids := seedPlusPlus(vectors, k, rng)
+	points := indexAll(vectors)
+	centroids := seedPlusPlus(points, k, rng)
 
 	assign := make([]int, n)
 	for i := range assign {
@@ -56,10 +84,10 @@ func KMeans(vectors []mlcore.SparseVector, k, maxIter int, seed int64) (*KMeansR
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		inertia := 0.0
-		for i, v := range vectors {
+		for i := range points {
 			best, bestDist := 0, math.Inf(1)
-			for c, cent := range centroids {
-				d := 1 - mlcore.Cosine(v, cent)
+			for c := range centroids {
+				d := 1 - cosine(points[i], centroids[c])
 				if d < bestDist {
 					best, bestDist = c, d
 				}
@@ -89,8 +117,8 @@ func KMeans(vectors []mlcore.SparseVector, k, maxIter int, seed int64) (*KMeansR
 			if counts[c] == 0 {
 				// Re-seed empty cluster with the farthest point.
 				far, farDist := 0, -1.0
-				for i, v := range vectors {
-					d := 1 - mlcore.Cosine(v, centroids[assign[i]])
+				for i := range points {
+					d := 1 - cosine(points[i], centroids[assign[i]])
 					if d > farDist {
 						far, farDist = i, d
 					}
@@ -99,27 +127,31 @@ func KMeans(vectors []mlcore.SparseVector, k, maxIter int, seed int64) (*KMeansR
 			}
 			sums[c].L2Normalize()
 		}
-		centroids = sums
+		centroids = indexAll(sums)
 	}
 	result.Assignments = assign
-	result.Centroids = centroids
+	result.Centroids = make([]mlcore.SparseVector, k)
+	for c := range centroids {
+		result.Centroids[c] = centroids[c].v
+	}
 	return result, nil
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ strategy
 // adapted to cosine distance.
-func seedPlusPlus(vectors []mlcore.SparseVector, k int, rng *rand.Rand) []mlcore.SparseVector {
-	n := len(vectors)
-	centroids := make([]mlcore.SparseVector, 0, k)
+func seedPlusPlus(points []indexed, k int, rng *rand.Rand) []indexed {
+	n := len(points)
+	centroids := make([]indexed, 0, k)
+	clone := func(i int) indexed { return indexVec(points[i].v.Clone()) }
 	first := rng.Intn(n)
-	centroids = append(centroids, vectors[first].Clone())
+	centroids = append(centroids, clone(first))
 	dist := make([]float64, n)
 	for len(centroids) < k {
 		total := 0.0
-		for i, v := range vectors {
+		for i := range points {
 			d := math.Inf(1)
 			for _, c := range centroids {
-				cd := 1 - mlcore.Cosine(v, c)
+				cd := 1 - cosine(points[i], c)
 				if cd < d {
 					d = cd
 				}
@@ -129,7 +161,7 @@ func seedPlusPlus(vectors []mlcore.SparseVector, k int, rng *rand.Rand) []mlcore
 		}
 		if total == 0 {
 			// All points identical to some centroid: duplicate any point.
-			centroids = append(centroids, vectors[rng.Intn(n)].Clone())
+			centroids = append(centroids, clone(rng.Intn(n)))
 			continue
 		}
 		target := rng.Float64() * total
@@ -142,7 +174,7 @@ func seedPlusPlus(vectors []mlcore.SparseVector, k int, rng *rand.Rand) []mlcore
 				break
 			}
 		}
-		centroids = append(centroids, vectors[pick].Clone())
+		centroids = append(centroids, clone(pick))
 	}
 	return centroids
 }

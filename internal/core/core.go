@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/dfs"
 	"repro/internal/indicators"
 	"repro/internal/outlets"
@@ -32,6 +33,12 @@ const (
 	SocialTable = "article_social"
 	// RepliesTable holds reply texts for stance-model training.
 	RepliesTable = "replies"
+	// DocsTable holds the raw source document of every ingested article,
+	// keyed by article id. It is what makes batch re-evaluation possible:
+	// the articles table stores only derived indicator columns, so without
+	// the source markup a retrained model could never be re-applied to the
+	// already-ingested corpus (see ReindexCorpus).
+	DocsTable = "article_docs"
 )
 
 // ErrNotIngested is returned when an article URL is unknown to the store.
@@ -51,6 +58,10 @@ type Platform struct {
 	Engine *indicators.Engine
 	// Reviews is the expert-review store.
 	Reviews *reviews.Store
+	// Compute is the platform's shared worker pool (the paper's Spark
+	// role): batch assessment fan-out, corpus re-indexing and the periodic
+	// jobs run on it by default.
+	Compute *compute.Pool
 	// Clock is the injectable time source.
 	Clock func() time.Time
 
@@ -62,6 +73,7 @@ type Platform struct {
 	articles *rdbms.Table
 	social   *rdbms.Table
 	replies  *rdbms.Table
+	docs     *rdbms.Table
 
 	statsMu sync.Mutex
 	stats   IngestStats
@@ -91,6 +103,9 @@ type Config struct {
 	Clock func() time.Time
 	// TopicName is the analysed topic (default "health/covid-19").
 	TopicName string
+	// ComputeWorkers bounds the platform's shared compute pool
+	// (default GOMAXPROCS).
+	ComputeWorkers int
 }
 
 // NewPlatform builds the platform: broker topic, store schemas, warehouse
@@ -121,6 +136,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Registry:  cfg.Registry,
 		Engine:    indicators.NewEngine(indicators.Config{Registry: cfg.Registry}),
 		Reviews:   reviews.NewStore(),
+		Compute:   compute.NewPool(cfg.ComputeWorkers, 1),
 		Clock:     cfg.Clock,
 		TopicName: cfg.TopicName,
 	}
@@ -144,6 +160,9 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	if p.replies, err = p.DB.Table(RepliesTable); err != nil {
+		return nil, err
+	}
+	if p.docs, err = p.DB.Table(DocsTable); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -217,7 +236,20 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	return repliesTable.CreateIndex("article_id", rdbms.HashIndex)
+	if err := repliesTable.CreateIndex("article_id", rdbms.HashIndex); err != nil {
+		return err
+	}
+
+	docSchema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TString},
+		{Name: "url", Type: rdbms.TString, NotNull: true},
+		{Name: "html", Type: rdbms.TString, NotNull: true},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	_, err = p.DB.CreateTable(DocsTable, docSchema)
+	return err
 }
 
 // Stats returns a copy of the ingestion counters.
@@ -347,6 +379,13 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 	if err := p.articles.Upsert(row); err != nil {
 		return err
 	}
+	// Keep the source markup: ReindexCorpus re-evaluates it whenever the
+	// models are retrained.
+	if err := p.docs.Upsert(rdbms.Row{
+		rdbms.String(id), rdbms.String(ev.ArticleURL), rdbms.String(ev.ArticleHTML),
+	}); err != nil {
+		return err
+	}
 	if err := p.social.Upsert(rdbms.Row{
 		rdbms.String(id), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
 		rdbms.Int(0), rdbms.Int(0), rdbms.Int(0), rdbms.Int(0),
@@ -371,23 +410,18 @@ func (p *Platform) ingestReaction(ev *synth.Event) error {
 		return fmt.Errorf("reaction %s: %w", ev.PostID, ErrNotIngested)
 	}
 
-	agg, err := p.social.Get(rdbms.String(articleID))
-	if err != nil {
-		return err
-	}
-	bump := func(i int) { agg[i] = rdbms.Int(agg[i].Int() + 1) }
-	bump(1) // reactions
+	bumps := []int{1} // reactions
 	switch ev.Kind {
 	case "reply":
-		bump(2)
+		bumps = append(bumps, 2)
 		stance := p.Engine.Stance().Classify(ev.Text)
 		switch stance.String() {
 		case "support":
-			bump(5)
+			bumps = append(bumps, 5)
 		case "deny":
-			bump(6)
+			bumps = append(bumps, 6)
 		default:
-			bump(7)
+			bumps = append(bumps, 7)
 		}
 		if err := p.replies.Upsert(rdbms.Row{
 			rdbms.String(ev.PostID), rdbms.String(articleID),
@@ -396,11 +430,19 @@ func (p *Platform) ingestReaction(ev *synth.Event) error {
 			return err
 		}
 	case "reshare":
-		bump(3)
+		bumps = append(bumps, 3)
 	case "like":
-		bump(4)
+		bumps = append(bumps, 4)
 	}
-	if err := p.social.Update(rdbms.String(articleID), agg); err != nil {
+	// One atomic read-modify-write: the aggregate row is also touched by
+	// concurrent corpus re-indexing (stance-count rewrites), so a separate
+	// Get + Update pair would lose updates.
+	if err := p.social.Mutate(rdbms.String(articleID), func(agg rdbms.Row) (rdbms.Row, error) {
+		for _, i := range bumps {
+			agg[i] = rdbms.Int(agg[i].Int() + 1)
+		}
+		return agg, nil
+	}); err != nil {
 		return err
 	}
 	p.bumpStat(func(s *IngestStats) { s.Reactions++ })

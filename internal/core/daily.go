@@ -20,6 +20,10 @@ type DailyReport struct {
 	Clickbait, Stance *TrainReport
 	// Topics is the topic-discovery report (nil when skipped).
 	Topics *TopicModelReport
+	// Reindex is the corpus re-evaluation that follows a successful
+	// retrain, so stored assessments never serve retired-model scores
+	// (nil when no model was retrained this cycle).
+	Reindex *ReindexReport
 }
 
 // RunDaily executes the platform's daily maintenance cycle (paper §3.3):
@@ -49,6 +53,15 @@ func (p *Platform) RunDaily(pool *compute.Pool, date time.Time) (*DailyReport, e
 	})
 	if err != nil && !errors.Is(err, ErrNotIngested) {
 		return rep, fmt.Errorf("topic training: %w", err)
+	}
+	// Any retrain leaves the stored per-article indicator columns stale
+	// (they were computed by the now-retired models at ingest time): one
+	// corpus re-index after all training stages brings the store current.
+	if rep.Clickbait != nil || rep.Stance != nil {
+		rep.Reindex, err = p.ReindexCorpus(pool)
+		if err != nil {
+			return rep, fmt.Errorf("corpus reindex: %w", err)
+		}
 	}
 	return rep, nil
 }

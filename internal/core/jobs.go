@@ -176,14 +176,46 @@ type TrainReport struct {
 	// TrainAccuracy is the accuracy on the training set (sanity signal;
 	// weak labels have no held-out gold).
 	TrainAccuracy float64
+	// Reindex is the corpus re-evaluation report when the run was invoked
+	// with WithReindex (nil otherwise).
+	Reindex *ReindexReport
+}
+
+// TrainOption customises a periodic training run.
+type TrainOption func(*trainOptions)
+
+type trainOptions struct {
+	reindex bool
+}
+
+// WithReindex makes the training job re-evaluate the stored corpus under
+// the freshly attached model before returning (ReindexCorpus on the same
+// pool), so stored assessments never mix model generations.
+func WithReindex() TrainOption {
+	return func(o *trainOptions) { o.reindex = true }
+}
+
+// maybeReindex runs the opt-in post-training corpus re-evaluation.
+func (p *Platform) maybeReindex(pool *compute.Pool, rep *TrainReport, opts []TrainOption) error {
+	var o trainOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.reindex {
+		return nil
+	}
+	var err error
+	rep.Reindex, err = p.ReindexCorpus(pool)
+	return err
 }
 
 // TrainClickbaitModel trains the clickbait classifier over the full stored
 // article history using distant supervision: titles whose lexicon score is
 // extreme (>= 0.6 or <= 0.15) become weak labels. Feature extraction runs
 // partition-parallel on the compute pool (the paper's Spark role). The
-// trained model is attached to the engine.
-func (p *Platform) TrainClickbaitModel(pool *compute.Pool, seed int64) (*TrainReport, error) {
+// trained model is attached to the engine. WithReindex additionally
+// re-evaluates the stored corpus under the new model before returning.
+func (p *Platform) TrainClickbaitModel(pool *compute.Pool, seed int64, opts ...TrainOption) (*TrainReport, error) {
 	articlesTable, err := p.DB.Table(ArticlesTable)
 	if err != nil {
 		return nil, err
@@ -239,41 +271,53 @@ func (p *Platform) TrainClickbaitModel(pool *compute.Pool, seed int64) (*TrainRe
 		}
 	}
 	p.Engine.SetClickbaitModel(model)
-	return &TrainReport{
+	rep := &TrainReport{
 		Examples:      len(data),
 		PositiveShare: float64(positives) / float64(len(data)),
 		TrainAccuracy: float64(correct) / float64(len(data)),
-	}, nil
+	}
+	if err := p.maybeReindex(pool, rep, opts); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // TrainStanceModel trains the stance naive Bayes over the stored reply
-// history, weak-labelled by the lexicon classifier at ingestion time, and
-// attaches it to the engine.
-func (p *Platform) TrainStanceModel(pool *compute.Pool) (*TrainReport, error) {
+// history, weak-labelled by the deterministic stance lexicon, and attaches
+// it to the engine. The weak labels are recomputed from the reply texts at
+// training time rather than read from the stored stance column: that
+// column is rewritten by the serving classifier (at ingest and by corpus
+// re-indexing), so training on it would feed the model its own previous
+// predictions back — a self-training loop where label drift compounds
+// across retrain cycles. WithReindex additionally re-evaluates the stored
+// corpus (including the stored reply stances) under the new model before
+// returning.
+func (p *Platform) TrainStanceModel(pool *compute.Pool, opts ...TrainOption) (*TrainReport, error) {
 	repliesTable, err := p.DB.Table(RepliesTable)
 	if err != nil {
 		return nil, err
 	}
-	type reply struct{ text, stance string }
-	var all []reply
+	var texts []string
 	repliesTable.Scan(func(r rdbms.Row) bool {
-		all = append(all, reply{text: r[2].Str(), stance: r[3].Str()})
+		texts = append(texts, r[2].Str())
 		return true
 	})
-	if len(all) == 0 {
+	if len(texts) == 0 {
 		return nil, fmt.Errorf("train stance: %w", ErrNotIngested)
 	}
-	// Tokenise partition-parallel, then feed the (inherently sequential)
-	// NB accumulator.
-	ds := compute.FromSlice(all, pool.Workers())
-	tokenised, err := compute.Map(pool, ds, func(r reply) (struct {
+	// Tokenise and weak-label partition-parallel, then feed the (inherently
+	// sequential) NB accumulator. A fresh model-less classifier is the pure
+	// lexicon labeller.
+	lexicon := socialind.NewStanceClassifier()
+	ds := compute.FromSlice(texts, pool.Workers())
+	tokenised, err := compute.Map(pool, ds, func(text string) (struct {
 		tokens []string
 		class  string
 	}, error) {
 		return struct {
 			tokens []string
 			class  string
-		}{socialind.Tokens(r.text), r.stance}, nil
+		}{socialind.Tokens(text), lexicon.Classify(text).String()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -294,11 +338,15 @@ func (p *Platform) TrainStanceModel(pool *compute.Pool) (*TrainReport, error) {
 		}
 	}
 	p.Engine.SetStanceModel(nb)
-	return &TrainReport{
+	rep := &TrainReport{
 		Examples:      len(rows),
 		PositiveShare: float64(positives) / float64(len(rows)),
 		TrainAccuracy: float64(correct) / float64(len(rows)),
-	}, nil
+	}
+	if err := p.maybeReindex(pool, rep, opts); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // Assessment is the single-article view (paper Figure 3): stored

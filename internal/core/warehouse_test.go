@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"testing"
 
 	"repro/internal/cluster"
@@ -332,6 +333,41 @@ func TestRunDailyFullCycle(t *testing.T) {
 	if p.Engine.ClickbaitModel() == nil {
 		t.Error("clickbait model not attached after daily cycle")
 	}
+	// The cycle re-indexed the corpus, so the store serves no
+	// retired-model scores.
+	if rep.Reindex == nil || rep.Reindex.Articles == 0 {
+		t.Fatalf("daily cycle skipped the corpus reindex: %+v", rep.Reindex)
+	}
+	art, err := p.articles.Get(rdbms.String(firstArticleID(t, p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := p.docs.Get(art[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := p.Engine.Evaluate(doc[2].Str(), doc[1].Str(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art[6].Float() != fresh.Content.Clickbait {
+		t.Error("stored clickbait stale after RunDaily")
+	}
+}
+
+// firstArticleID returns a deterministic stored article id.
+func firstArticleID(t *testing.T, p *Platform) string {
+	t.Helper()
+	ids := []string{}
+	p.articles.Scan(func(r rdbms.Row) bool {
+		ids = append(ids, r[0].Str())
+		return true
+	})
+	if len(ids) == 0 {
+		t.Fatal("no stored articles")
+	}
+	sort.Strings(ids)
+	return ids[0]
 }
 
 func TestRunDailyOnEmptyPlatformSkipsTraining(t *testing.T) {

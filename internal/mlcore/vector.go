@@ -13,39 +13,96 @@ import (
 // (all-zero) vector.
 type SparseVector map[int]float64
 
-// Dot returns the dot product of two sparse vectors. It iterates the
-// smaller operand for efficiency.
+// sortedIndices returns the vector's indices in ascending order. The dot
+// products below sum in this order: Go randomises map iteration, and
+// summing floats in a random order makes the low bits of a model score
+// differ from call to call — which breaks the platform invariant that
+// re-evaluating the same document under the same models is bit-identical
+// (batch re-indexing vs. the real-time path).
+func (v SparseVector) sortedIndices() []int {
+	idx := make([]int, 0, len(v))
+	for i := range v {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Indices returns the vector's indices in ascending order. Training loops
+// that evaluate the same vector every epoch should call this once and use
+// DotDenseAt, instead of paying DotDense's per-call collect-and-sort.
+func (v SparseVector) Indices() []int { return v.sortedIndices() }
+
+// DotDenseAt is DotDense with the iteration order supplied by the caller
+// (typically a cached Indices() result); indices beyond len(w) contribute
+// zero.
+func (v SparseVector) DotDenseAt(idx []int, w []float64) float64 {
+	sum := 0.0
+	for _, i := range idx {
+		if i >= 0 && i < len(w) {
+			sum += v[i] * w[i]
+		}
+	}
+	return sum
+}
+
+// DotAt is Dot with the iteration order over v supplied by the caller
+// (typically a cached Indices() result).
+func (v SparseVector) DotAt(idx []int, w SparseVector) float64 {
+	sum := 0.0
+	for _, i := range idx {
+		if y, ok := w[i]; ok {
+			sum += v[i] * y
+		}
+	}
+	return sum
+}
+
+// NormAt is Norm with the iteration order supplied by the caller
+// (typically a cached Indices() result).
+func (v SparseVector) NormAt(idx []int) float64 {
+	sum := 0.0
+	for _, i := range idx {
+		sum += v[i] * v[i]
+	}
+	return math.Sqrt(sum)
+}
+
+// Dot returns the dot product of two sparse vectors, summed in ascending
+// index order of the smaller operand for run-to-run determinism.
 func (v SparseVector) Dot(w SparseVector) float64 {
 	a, b := v, w
 	if len(b) < len(a) {
 		a, b = b, a
 	}
 	sum := 0.0
-	for i, x := range a {
+	for _, i := range a.sortedIndices() {
 		if y, ok := b[i]; ok {
-			sum += x * y
+			sum += a[i] * y
 		}
 	}
 	return sum
 }
 
 // DotDense returns the dot product of the sparse vector with a dense weight
-// slice; indices beyond len(w) contribute zero.
+// slice, summed in ascending index order for run-to-run determinism;
+// indices beyond len(w) contribute zero.
 func (v SparseVector) DotDense(w []float64) float64 {
 	sum := 0.0
-	for i, x := range v {
+	for _, i := range v.sortedIndices() {
 		if i >= 0 && i < len(w) {
-			sum += x * w[i]
+			sum += v[i] * w[i]
 		}
 	}
 	return sum
 }
 
-// Norm returns the Euclidean norm.
+// Norm returns the Euclidean norm, summed in ascending index order for
+// run-to-run determinism.
 func (v SparseVector) Norm() float64 {
 	sum := 0.0
-	for _, x := range v {
-		sum += x * x
+	for _, i := range v.sortedIndices() {
+		sum += v[i] * v[i]
 	}
 	return math.Sqrt(sum)
 }
@@ -77,13 +134,31 @@ func (v SparseVector) L2Normalize() SparseVector {
 }
 
 // Cosine returns the cosine similarity of two sparse vectors, 0 when either
-// is zero.
+// is zero. Each operand's index set is sorted once and reused for its norm
+// and the dot product; hot loops that hold vectors fixed across calls
+// (k-means assignment, say) should cache Indices()/NormAt and use CosineAt.
 func Cosine(a, b SparseVector) float64 {
-	na, nb := a.Norm(), b.Norm()
+	ai, bi := a.sortedIndices(), b.sortedIndices()
+	na, nb := a.NormAt(ai), b.NormAt(bi)
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return a.Dot(b) / (na * nb)
+	if len(bi) < len(ai) {
+		a, b, ai = b, a, bi
+	}
+	return a.DotAt(ai, b) / (na * nb)
+}
+
+// CosineAt is Cosine with both operands' sorted index sets and norms
+// supplied by the caller (cached Indices()/NormAt results).
+func CosineAt(a SparseVector, aIdx []int, aNorm float64, b SparseVector, bIdx []int, bNorm float64) float64 {
+	if aNorm == 0 || bNorm == 0 {
+		return 0
+	}
+	if len(bIdx) < len(aIdx) {
+		a, b, aIdx = b, a, bIdx
+	}
+	return a.DotAt(aIdx, b) / (aNorm * bNorm)
 }
 
 // Clone returns a deep copy of the vector.

@@ -694,3 +694,99 @@ func TestQueryUsesIndex(t *testing.T) {
 		t.Errorf("index changed results: %d vs %d", len(noIdx), len(withIdx))
 	}
 }
+
+// --- Mutate ---
+
+func TestMutateBasics(t *testing.T) {
+	tbl := newArticleTable(t)
+	if _, err := tbl.Insert(articleRow(1, "o1", "t1", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	// Transform in place.
+	if err := tbl.Mutate(Int(1), func(r Row) (Row, error) {
+		r[3] = Float(0.9)
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Get(Int(1))
+	if err != nil || got[3].Float() != 0.9 {
+		t.Fatalf("mutated row: %v %v", got, err)
+	}
+	// fn error aborts without writing and is returned unwrapped.
+	sentinel := errors.New("skip")
+	if err := tbl.Mutate(Int(1), func(Row) (Row, error) { return nil, sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("fn error: %v", err)
+	}
+	got, _ = tbl.Get(Int(1))
+	if got[3].Float() != 0.9 {
+		t.Error("aborted mutate must not write")
+	}
+	// Unknown pk.
+	if err := tbl.Mutate(Int(99), func(r Row) (Row, error) { return r, nil }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing pk: %v", err)
+	}
+	// Schema violations are rejected.
+	if err := tbl.Mutate(Int(1), func(r Row) (Row, error) {
+		r[1] = Value{} // outlet is NOT NULL
+		return r, nil
+	}); err == nil {
+		t.Error("schema violation should fail")
+	}
+}
+
+func TestMutateReceivesClone(t *testing.T) {
+	tbl := newArticleTable(t)
+	if _, err := tbl.Insert(articleRow(1, "o1", "t1", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	var captured Row
+	if err := tbl.Mutate(Int(1), func(r Row) (Row, error) {
+		captured = r
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the captured row after the call must not reach the heap
+	// (Mutate handed us a clone, and updateLocked clones again on write).
+	captured[3] = Float(-1)
+	got, _ := tbl.Get(Int(1))
+	if got[3].Float() == -1 {
+		t.Error("retained row aliases table heap")
+	}
+}
+
+// TestMutateAtomicIncrements hammers one row with concurrent increments:
+// with the read-modify-write under one lock acquisition no update may be
+// lost (the failure mode of a separate Get + Update pair).
+func TestMutateAtomicIncrements(t *testing.T) {
+	tbl := newArticleTable(t)
+	if _, err := tbl.Insert(articleRow(1, "o1", "t1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := tbl.Mutate(Int(1), func(r Row) (Row, error) {
+					r[3] = Float(r[3].Float() + 1)
+					return r, nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := tbl.Get(Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(goroutines * perG); got[3].Float() != want {
+		t.Errorf("lost updates: got %v want %v", got[3].Float(), want)
+	}
+}

@@ -214,6 +214,31 @@ func (t *Table) updateLocked(pk Value, r Row, logWAL bool) error {
 	return nil
 }
 
+// Mutate atomically transforms the row stored under the given primary key:
+// the read, the transformation and the write happen under one acquisition
+// of the table's write lock, so no concurrent writer can interleave between
+// them (the lost-update hazard of a separate Get + Update pair). fn
+// receives a clone of the stored row and returns the replacement — it may
+// modify and return its argument. Returning an error aborts the mutation
+// without writing; the error is returned unwrapped so callers can signal
+// "no change needed" cheaply.
+func (t *Table) Mutate(pk Value, fn func(Row) (Row, error)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.pkIdx.lookupOne(pk)
+	if !ok {
+		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	r, err := fn(t.heap[id].Clone())
+	if err != nil {
+		return err
+	}
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	return t.updateLocked(pk, r, true)
+}
+
 // Delete removes the row with the given primary key.
 func (t *Table) Delete(pk Value) error {
 	t.mu.Lock()

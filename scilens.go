@@ -28,6 +28,10 @@ type (
 	IngestStats = core.IngestStats
 	// TrainReport summarises a periodic model-training run.
 	TrainReport = core.TrainReport
+	// TrainOption customises a periodic training run (e.g. WithReindex).
+	TrainOption = core.TrainOption
+	// ReindexReport summarises one batch corpus re-evaluation run.
+	ReindexReport = core.ReindexReport
 	// DailyReport summarises one RunDaily maintenance cycle (migration +
 	// model training).
 	DailyReport = core.DailyReport
@@ -47,6 +51,11 @@ type (
 func NewComputePool(workers, retries int) *ComputePool {
 	return compute.NewPool(workers, retries)
 }
+
+// WithReindex makes a training job re-evaluate the stored corpus under the
+// freshly attached model before returning (see Platform.ReindexCorpus), so
+// stored assessments never mix model generations.
+func WithReindex() TrainOption { return core.WithReindex() }
 
 // Indicator engine types.
 type (
