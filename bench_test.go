@@ -20,6 +20,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/rdbms"
 	"repro/internal/socialind"
+	"repro/internal/synth"
 )
 
 // benchWorld is the shared fixture: a mid-size 20-day corpus ingested once.
@@ -418,6 +419,77 @@ func BenchmarkStreamPublishConsume(b *testing.B) {
 		b.Fatal(err)
 	}
 	_ = consumed
+}
+
+// BenchmarkStreamIngest compares the synchronous ingest loop the platform
+// used before the streaming pipeline (poll → decode → IngestEvent, one
+// event at a time) against the staged pipeline (sharded queues → decode →
+// micro-batched evaluation → coalesced commits) across worker counts,
+// reporting events/s. Both sides consume the same pre-encoded firehose
+// payloads, so the codec cost is identical and the delta isolates the
+// pipeline's batching and stage parallelism.
+func BenchmarkStreamIngest(b *testing.B) {
+	world := scilens.GenerateWorld(scilens.WorldConfig{
+		Seed: 4, Days: 8, RateScale: 0.4, ReactionScale: 0.3,
+	})
+	events := world.Events()
+	payloads := make([][]byte, len(events))
+	for i := range events {
+		p, err := events[i].Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = p
+	}
+	perSec := func(b *testing.B) {
+		b.ReportMetric(float64(len(events))/(b.Elapsed().Seconds()/float64(b.N)), "events/s")
+	}
+
+	b.Run("sync-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := scilens.New(scilens.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, payload := range payloads {
+				ev, err := synth.DecodeEvent(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.IngestEvent(&ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Close()
+		}
+		b.StopTimer()
+		perSec(b)
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("streamed-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := scilens.New(scilens.Config{
+					StreamShards:        shards,
+					StreamQueueCapacity: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, payload := range payloads {
+					if err := p.Pipeline.Enqueue(events[j].ArticleURL, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Pipeline.Flush()
+				if st := p.StreamStats(); st.DeadLettered != 0 {
+					b.Fatalf("dead letters: %+v", st)
+				}
+				p.Close()
+			}
+			b.StopTimer()
+			perSec(b)
+		})
+	}
 }
 
 // BenchmarkDailyMigration measures the full daily snapshot job over the

@@ -57,6 +57,29 @@
 // serving. Training jobs accept WithReindex to run the re-index as part
 // of the retrain, and the HTTP layer exposes it as POST /api/reindex.
 //
+// # Streaming ingestion
+//
+// Ingestion is asynchronous and stage-parallel (internal/stream.Pipeline).
+// Producers — the POST /api/ingest bulk endpoint, the firehose consumers
+// behind Platform.RunIngest / IngestWorld, and replayed dead letters —
+// enqueue raw events onto sharded bounded queues, keyed by article URL so
+// a cascade's posting always precedes its reactions on its shard. Each
+// shard worker drains micro-batches through three stages: decode, batched
+// evaluation of the postings (Engine.EvaluateBatch amortises the
+// single-pass analysis across the batch on the platform compute pool), and
+// batched store commits (posting rows in batch order, reactions coalesced
+// into one atomic read-modify-write per article). Backpressure is
+// caller-selectable per event: blocking enqueue propagates queue pressure
+// back to the producer, shedding enqueue fails fast (HTTP 429). Failed
+// events retry with capped exponential backoff and then land in the
+// dead_letters table with their failure reason, inspectable via
+// Platform.DeadLetters and re-driven via ReplayDeadLetters (POST
+// /api/ingest/replay). Every committed assessment is published on the
+// platform Bus and served live over GET /api/stream (SSE); GET /api/stats
+// exposes the per-stage counters. The staged path stores bit-identical
+// rows to the synchronous IngestEvent path, and Platform.Close drains it
+// gracefully.
+//
 // Everything is deterministic for a fixed seed and uses only the Go
 // standard library.
 package scilens

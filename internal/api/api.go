@@ -117,10 +117,15 @@ func (s *AssessmentService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request) {
 	stats := s.platform.Stats()
+	ss := s.platform.StreamStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"postings":  stats.Postings,
-		"reactions": stats.Reactions,
+		"status":       "ok",
+		"postings":     stats.Postings,
+		"reactions":    stats.Reactions,
+		"queue_depth":  ss.QueueDepth,
+		"queue_depths": ss.QueueDepths,
+		"inflight":     ss.Inflight,
+		"dead_letters": ss.DeadLetterBacklog,
 	})
 }
 
@@ -652,12 +657,17 @@ func NewServer(p *core.Platform) *Server {
 	insights := NewInsightsService(p)
 	review := NewReviewService(p)
 	admin := NewAdminService(p)
+	ingest := NewIngestService(p)
 	s.mux.Handle("/api/assess", assessment)
 	s.mux.Handle("/api/assess/", assessment)
 	s.mux.Handle("/api/health", assessment)
 	s.mux.Handle("/api/insights/", insights)
 	s.mux.Handle("/api/reviews", review)
 	s.mux.Handle("/api/reindex", admin)
+	s.mux.Handle("/api/ingest", ingest)
+	s.mux.Handle("/api/ingest/", ingest)
+	s.mux.Handle("/api/stream", ingest)
+	s.mux.Handle("/api/stats", ingest)
 	return s
 }
 

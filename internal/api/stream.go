@@ -1,0 +1,190 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// IngestService exposes the streaming ingestion subsystem over HTTP: bulk
+// event ingestion with caller-selectable backpressure, dead-letter replay,
+// the live assessment feed (SSE) and the per-stage pipeline counters.
+type IngestService struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewIngestService mounts the streaming endpoints.
+func NewIngestService(p *core.Platform) *IngestService {
+	s := &IngestService{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /api/ingest/replay", s.handleReplay)
+	s.mux.HandleFunc("GET /api/stream", s.handleStream)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *IngestService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ingestRequest is the POST /api/ingest body: a bulk batch of firehose
+// events plus the backpressure mode. mode "block" (the default) parks the
+// request while pipeline shards are full; mode "shed" stops at the first
+// full shard and answers 429 with the accepted/dropped split, so
+// well-behaved producers can retry the remainder.
+type ingestRequest struct {
+	Events []synth.Event `json:"events"`
+	Mode   string        `json:"mode"`
+}
+
+// ingestResponse reports a bulk ingest. Dropped is non-zero only in shed
+// mode (status 429).
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+func (s *IngestService) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeJSON(w, r, maxAssessBody, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("events field required"))
+		return
+	}
+	block := true
+	switch req.Mode {
+	case "", "block":
+	case "shed":
+		block = false
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want block or shed)", req.Mode))
+		return
+	}
+	for _, ev := range req.Events {
+		if ev.ArticleURL == "" {
+			writeError(w, http.StatusBadRequest, errors.New("every event needs an article_url (the shard key)"))
+			return
+		}
+	}
+	accepted := 0
+	for i := range req.Events {
+		var err error
+		if block {
+			// Context-aware blocking: a client that gives up mid-backpressure
+			// releases this handler instead of parking it on the full shard.
+			err = s.platform.StreamEventCtx(r.Context(), &req.Events[i])
+		} else {
+			err = s.platform.StreamEvent(&req.Events[i], false)
+		}
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; nothing useful can be written.
+			return
+		case errors.Is(err, stream.ErrFull):
+			// Shed: report the split and let the caller back off.
+			writeJSON(w, http.StatusTooManyRequests, ingestResponse{
+				Accepted: accepted,
+				Dropped:  len(req.Events) - accepted,
+			})
+			return
+		case errors.Is(err, stream.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: accepted})
+}
+
+// replayRequest is the optional POST /api/ingest/replay body.
+type replayRequest struct {
+	// Wait blocks the response until the replayed events have been fully
+	// re-processed (committed or re-dead-lettered).
+	Wait bool `json:"wait"`
+}
+
+func (s *IngestService) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req replayRequest
+	if !decodeJSONAllowEmpty(w, r, maxControlBody, &req) {
+		return
+	}
+	n, err := s.platform.ReplayDeadLetters(req.Wait)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replayed": n})
+}
+
+// handleStream serves the live assessment feed as Server-Sent Events: one
+// `assessment` event per committed posting, the moment it lands in the
+// store. The optional ?limit=N query parameter ends the stream after N
+// events (handy for scripted consumers); otherwise the stream runs until
+// the client disconnects or the platform closes.
+func (s *IngestService) handleStream(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	sub := s.platform.Bus.Subscribe(256)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment line lets clients observe the subscription
+	// before the first assessment lands.
+	fmt.Fprint(w, ": subscribed\n\n")
+	flusher.Flush()
+
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case payload, open := <-sub.C:
+			if !open {
+				return // platform closed the bus
+			}
+			fmt.Fprintf(w, "event: assessment\ndata: %s\n\n", payload)
+			flusher.Flush()
+			sent++
+			if limit > 0 && sent >= limit {
+				return
+			}
+		}
+	}
+}
+
+// handleStats serves the platform ingestion counters plus the streaming
+// subsystem's per-stage counters.
+func (s *IngestService) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.platform.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"postings":         stats.Postings,
+		"reactions":        stats.Reactions,
+		"parse_failures":   stats.ParseFailures,
+		"orphan_reactions": stats.OrphanReactions,
+		"pipeline":         s.platform.StreamStats(),
+	})
+}

@@ -10,7 +10,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net/url"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compute"
@@ -39,6 +42,10 @@ const (
 	// the source markup a retrained model could never be re-applied to the
 	// already-ingested corpus (see ReindexCorpus).
 	DocsTable = "article_docs"
+	// DeadLettersTable holds events the streaming pipeline gave up on,
+	// with their final failure reason; inspect with Platform.DeadLetters
+	// and re-drive with ReplayDeadLetters.
+	DeadLettersTable = "dead_letters"
 )
 
 // ErrNotIngested is returned when an article URL is unknown to the store.
@@ -48,6 +55,13 @@ var ErrNotIngested = errors.New("core: article not ingested")
 type Platform struct {
 	// Broker is the streaming entry point.
 	Broker *stream.Broker
+	// Pipeline is the asynchronous staged ingestion engine: sharded
+	// bounded queues feeding decode → batched evaluation → batched store
+	// commits, with retry and dead-lettering (see streaming.go).
+	Pipeline *stream.Pipeline
+	// Bus publishes each committed assessment to live-feed subscribers
+	// (the GET /api/stream SSE endpoint).
+	Bus *stream.Bus
 	// DB is the real-time store.
 	DB *rdbms.DB
 	// Warehouse is the distributed storage.
@@ -74,9 +88,15 @@ type Platform struct {
 	social   *rdbms.Table
 	replies  *rdbms.Table
 	docs     *rdbms.Table
+	dead     *rdbms.Table
 
 	statsMu sync.Mutex
 	stats   IngestStats
+
+	// Streaming-subsystem counters (see streaming.go).
+	dlSeq     atomic.Uint64 // dead-letter id sequence
+	evaluated atomic.Uint64 // postings through the batched-evaluation stage
+	malformed atomic.Uint64 // payloads that failed to decode
 }
 
 // IngestStats counts ingestion outcomes.
@@ -106,6 +126,26 @@ type Config struct {
 	// ComputeWorkers bounds the platform's shared compute pool
 	// (default GOMAXPROCS).
 	ComputeWorkers int
+
+	// StreamShards is the ingestion pipeline's queue/worker count
+	// (default 4). Events shard by article URL hash, so per-article
+	// posting→reaction ordering holds within a shard.
+	StreamShards int
+	// StreamQueueCapacity bounds each pipeline shard's queue (default
+	// 1024): full shards block Platform.StreamEvent(ev, true) and shed
+	// StreamEvent(ev, false).
+	StreamQueueCapacity int
+	// StreamBatchSize is the micro-batch size per processing round
+	// (default 64), the amortisation unit for batched evaluation and
+	// batched store commits.
+	StreamBatchSize int
+	// StreamMaxAttempts is the per-event attempt budget before
+	// dead-lettering (default 3).
+	StreamMaxAttempts int
+	// StreamBackoff is the first retry delay (default 5ms), doubling per
+	// attempt up to StreamMaxBackoff (default 250ms).
+	StreamBackoff    time.Duration
+	StreamMaxBackoff time.Duration
 }
 
 // NewPlatform builds the platform: broker topic, store schemas, warehouse
@@ -165,6 +205,20 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if p.docs, err = p.DB.Table(DocsTable); err != nil {
 		return nil, err
 	}
+	if p.dead, err = p.DB.Table(DeadLettersTable); err != nil {
+		return nil, err
+	}
+	p.Bus = stream.NewBus()
+	p.Pipeline = stream.NewPipeline(stream.PipelineConfig{
+		Shards:        cfg.StreamShards,
+		QueueCapacity: cfg.StreamQueueCapacity,
+		MaxBatch:      cfg.StreamBatchSize,
+		MaxAttempts:   cfg.StreamMaxAttempts,
+		Backoff:       cfg.StreamBackoff,
+		MaxBackoff:    cfg.StreamMaxBackoff,
+		Process:       p.processBatch,
+		OnDead:        p.writeDeadLetter,
+	})
 	return p, nil
 }
 
@@ -248,7 +302,22 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	_, err = p.DB.CreateTable(DocsTable, docSchema)
+	if _, err = p.DB.CreateTable(DocsTable, docSchema); err != nil {
+		return err
+	}
+
+	deadSchema, err := rdbms.NewSchema([]rdbms.Column{
+		{Name: "id", Type: rdbms.TString},
+		{Name: "key", Type: rdbms.TString},
+		{Name: "payload", Type: rdbms.TString, NotNull: true},
+		{Name: "reason", Type: rdbms.TString},
+		{Name: "attempts", Type: rdbms.TInt},
+		{Name: "time", Type: rdbms.TTime},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	_, err = p.DB.CreateTable(DeadLettersTable, deadSchema)
 	return err
 }
 
@@ -337,6 +406,24 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 		p.bumpStat(func(s *IngestStats) { s.ParseFailures++ })
 		return fmt.Errorf("posting %s: %w", ev.PostID, err)
 	}
+	return p.applyPosting(ev, report)
+}
+
+// isTopic reports whether the report carries the platform's supervised
+// topic.
+func (p *Platform) isTopic(report *indicators.Report) bool {
+	for _, a := range report.Topics {
+		if a.Topic == p.TopicName {
+			return true
+		}
+	}
+	return false
+}
+
+// applyPosting stores one posting given its evaluated report — the commit
+// stage shared by the synchronous IngestEvent path and the streaming
+// pipeline, so both produce bit-identical rows.
+func (p *Platform) applyPosting(ev *synth.Event, report *indicators.Report) error {
 	outlet, err := p.Registry.ByID(ev.OutletID)
 	if err != nil {
 		// Fall back to domain resolution for outlets not carried in the
@@ -350,13 +437,7 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 	if id == "" {
 		id = ev.PostID
 	}
-	isTopic := false
-	for _, a := range report.Topics {
-		if a.Topic == p.TopicName {
-			isTopic = true
-			break
-		}
-	}
+	isTopic := p.isTopic(report)
 	row := rdbms.Row{
 		rdbms.String(id),
 		rdbms.String(outlet.ID),
@@ -396,49 +477,75 @@ func (p *Platform) ingestPosting(ev *synth.Event) error {
 	return nil
 }
 
-// ingestReaction resolves the article by URL and updates the aggregates.
-func (p *Platform) ingestReaction(ev *synth.Event) error {
+// resolveArticleID maps an article URL to its stored article id via the
+// url hash index.
+func (p *Platform) resolveArticleID(articleURL string) (string, bool) {
 	var articleID string
 	found := false
-	err := p.articles.ViewEq("url", rdbms.String(ev.ArticleURL), func(r rdbms.Row) bool {
+	err := p.articles.ViewEq("url", rdbms.String(articleURL), func(r rdbms.Row) bool {
 		articleID = r[0].Str()
 		found = true
 		return false
 	})
-	if err != nil || !found {
+	return articleID, err == nil && found
+}
+
+// reactionEffect is the store mutation one reaction event implies: the
+// article_social column indexes to increment, plus the replies-table row
+// for reply events (nil otherwise).
+type reactionEffect struct {
+	bumps []int
+	reply rdbms.Row
+}
+
+// reactionEffect classifies one reaction event — shared by the synchronous
+// path and the streaming pipeline's coalesced commits, so both apply
+// identical mutations.
+func (p *Platform) reactionEffect(ev *synth.Event, articleID string) reactionEffect {
+	eff := reactionEffect{bumps: []int{1}} // reactions
+	switch ev.Kind {
+	case "reply":
+		eff.bumps = append(eff.bumps, 2)
+		stance := p.Engine.Stance().Classify(ev.Text)
+		switch stance.String() {
+		case "support":
+			eff.bumps = append(eff.bumps, 5)
+		case "deny":
+			eff.bumps = append(eff.bumps, 6)
+		default:
+			eff.bumps = append(eff.bumps, 7)
+		}
+		eff.reply = rdbms.Row{
+			rdbms.String(ev.PostID), rdbms.String(articleID),
+			rdbms.String(ev.Text), rdbms.String(stance.String()),
+		}
+	case "reshare":
+		eff.bumps = append(eff.bumps, 3)
+	case "like":
+		eff.bumps = append(eff.bumps, 4)
+	}
+	return eff
+}
+
+// ingestReaction resolves the article by URL and updates the aggregates.
+func (p *Platform) ingestReaction(ev *synth.Event) error {
+	articleID, ok := p.resolveArticleID(ev.ArticleURL)
+	if !ok {
 		p.bumpStat(func(s *IngestStats) { s.OrphanReactions++ })
 		return fmt.Errorf("reaction %s: %w", ev.PostID, ErrNotIngested)
 	}
 
-	bumps := []int{1} // reactions
-	switch ev.Kind {
-	case "reply":
-		bumps = append(bumps, 2)
-		stance := p.Engine.Stance().Classify(ev.Text)
-		switch stance.String() {
-		case "support":
-			bumps = append(bumps, 5)
-		case "deny":
-			bumps = append(bumps, 6)
-		default:
-			bumps = append(bumps, 7)
-		}
-		if err := p.replies.Upsert(rdbms.Row{
-			rdbms.String(ev.PostID), rdbms.String(articleID),
-			rdbms.String(ev.Text), rdbms.String(stance.String()),
-		}); err != nil {
+	eff := p.reactionEffect(ev, articleID)
+	if eff.reply != nil {
+		if err := p.replies.Upsert(eff.reply); err != nil {
 			return err
 		}
-	case "reshare":
-		bumps = append(bumps, 3)
-	case "like":
-		bumps = append(bumps, 4)
 	}
 	// One atomic read-modify-write: the aggregate row is also touched by
 	// concurrent corpus re-indexing (stance-count rewrites), so a separate
 	// Get + Update pair would lose updates.
 	if err := p.social.Mutate(rdbms.String(articleID), func(agg rdbms.Row) (rdbms.Row, error) {
-		for _, i := range bumps {
+		for _, i := range eff.bumps {
 			agg[i] = rdbms.Int(agg[i].Int() + 1)
 		}
 		return agg, nil
@@ -450,17 +557,31 @@ func (p *Platform) ingestReaction(ev *synth.Event) error {
 }
 
 // RunIngest consumes the postings topic with `members` sharded consumers
-// until the queue stays empty for idle. Each consumer processes its
-// partitions in order (cascade ordering), so parallelism comes from the
-// shard split. It returns the number of processed events.
+// until the queue stays empty for idle, forwarding every message onto the
+// streaming pipeline (see streaming.go) and draining it before returning.
+// It returns the number of events that reached a final processed outcome
+// during the run (committed or dead-lettered after retries; malformed
+// payloads are excluded, matching the historic skip behaviour).
 func (p *Platform) RunIngest(members int, idle time.Duration) (int, error) {
 	return p.runIngestUntil(members, idle, func() bool { return true })
+}
+
+// ingestOutcomes counts events that reached a final non-malformed outcome
+// — the "processed" notion RunIngest reports.
+func (p *Platform) ingestOutcomes() uint64 {
+	st := p.Pipeline.Stats()
+	return st.Committed + st.DeadLettered - p.malformed.Load()
 }
 
 // runIngestUntil is the shared consumer-group loop: a consumer exits only
 // when its partitions stay empty for idle AND stop() reports that no more
 // input is coming. RunIngest stops on the first idle window; IngestWorld
-// keeps consumers alive while the producer is still publishing.
+// keeps consumers alive while the producer is still publishing. Consumers
+// do no processing themselves: they forward each message onto the
+// pipeline's URL-sharded queues (blocking on full shards, so broker
+// backpressure propagates to the firehose producer) and the pipeline's
+// stage workers do the decoding, evaluation and commits. The pipeline is
+// flushed before returning, so everything forwarded is fully processed.
 func (p *Platform) runIngestUntil(members int, idle time.Duration, stop func() bool) (int, error) {
 	if members <= 0 {
 		members = 1
@@ -468,24 +589,20 @@ func (p *Platform) runIngestUntil(members int, idle time.Duration, stop func() b
 	if idle <= 0 {
 		idle = 50 * time.Millisecond
 	}
-	type result struct {
-		n   int
-		err error
-	}
-	results := make(chan result, members)
+	before := p.ingestOutcomes()
+	results := make(chan error, members)
 	for m := 0; m < members; m++ {
 		go func(m int) {
 			consumer, err := p.Broker.SubscribeShard(PostingsTopic, "ingest", m, members)
 			if err != nil {
-				results <- result{0, err}
+				results <- err
 				return
 			}
 			defer consumer.Close()
-			processed := 0
 			for {
 				msgs, err := consumer.PollWait(256, idle)
 				if err != nil {
-					results <- result{processed, err}
+					results <- err
 					return
 				}
 				if len(msgs) == 0 {
@@ -498,60 +615,43 @@ func (p *Platform) runIngestUntil(members int, idle time.Duration, stop func() b
 						if cerr := consumer.Commit(); err == nil {
 							err = cerr
 						}
-						results <- result{processed, err}
+						results <- err
 						return
 					}
 				}
 				for _, msg := range msgs {
-					ev, err := synth.DecodeEvent(msg.Payload)
-					if err != nil {
-						continue // malformed message: skip, keep consuming
+					// The broker key is the article URL, which is also the
+					// pipeline's shard key — cascade ordering carries over.
+					if err := p.Pipeline.Enqueue(msg.Key, msg.Payload); err != nil {
+						results <- err
+						return
 					}
-					// Ingestion errors for single events (orphans, parse
-					// failures) are counted in stats, not fatal.
-					_ = p.IngestEvent(&ev)
-					processed++
 				}
 				if err := consumer.Commit(); err != nil {
-					results <- result{processed, err}
+					results <- err
 					return
 				}
 			}
 		}(m)
 	}
-	total := 0
 	var firstErr error
 	for m := 0; m < members; m++ {
-		r := <-results
-		total += r.n
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+		if err := <-results; err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return total, firstErr
+	p.Pipeline.Flush()
+	return int(p.ingestOutcomes() - before), firstErr
 }
 
+// hostOf extracts the (lowercased) host name from an article URL for
+// outlet domain resolution: ports, userinfo, IPv6 brackets and scheme case
+// are all handled by net/url, unlike the hand-rolled scan this replaces.
+// Unparseable or host-less URLs yield "".
 func hostOf(rawURL string) string {
-	// Tiny inline host extraction to avoid importing extract for one call.
-	const scheme = "://"
-	i := indexOfSub(rawURL, scheme)
-	if i < 0 {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
 		return ""
 	}
-	rest := rawURL[i+len(scheme):]
-	for j := 0; j < len(rest); j++ {
-		if rest[j] == '/' || rest[j] == '?' || rest[j] == '#' {
-			return rest[:j]
-		}
-	}
-	return rest
-}
-
-func indexOfSub(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
+	return strings.ToLower(u.Hostname())
 }

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/indicators"
+	"repro/internal/outlets"
+	"repro/internal/rdbms"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// Streaming ingestion: the platform's asynchronous ingest path. Producers
+// (the bulk ingest API, the firehose consumers of RunIngest, replayed dead
+// letters) enqueue raw events onto the stream.Pipeline's sharded bounded
+// queues, keyed by article URL so a cascade's posting→reaction order is
+// preserved per shard. Each micro-batch then moves through three stages:
+// decode, batched evaluation of the postings via Engine.EvaluateBatch
+// (amortising the single-pass document analysis on the platform compute
+// pool), and batched store commits (posting rows in order, reactions
+// coalesced into one Table.Mutate per article). Failed events retry with
+// capped backoff and finally land in the dead_letters table; committed
+// assessments are published on the platform Bus for the live SSE feed.
+//
+// The staged path is row-for-row identical to the synchronous IngestEvent
+// path — both funnel through applyPosting / reactionEffect — which is
+// pinned by TestStreamedIngestMatchesSynchronous.
+
+// errMalformedEvent marks payloads that fail to decode (never retried).
+var errMalformedEvent = errors.New("core: malformed event payload")
+
+// processBatch is the pipeline's Process hook: one micro-batch for one
+// shard through decode → evaluate → commit.
+func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result {
+	results := make([]stream.Result, len(batch))
+	events := make([]synth.Event, len(batch))
+	live := make([]bool, len(batch))
+
+	// Stage 1: decode. Malformed payloads are permanent failures.
+	for i, env := range batch {
+		ev, err := synth.DecodeEvent(env.Payload)
+		if err != nil {
+			p.malformed.Add(1)
+			results[i] = stream.Result{Outcome: stream.OutcomeDead, Err: errors.Join(errMalformedEvent, err)}
+			continue
+		}
+		events[i] = ev
+		live[i] = true
+	}
+
+	// Stage 2: micro-batched evaluation of the postings. EvaluateBatch
+	// fans the single-pass document analysis out on the platform compute
+	// pool and bypasses the real-time report cache (a firehose sweep must
+	// not evict the hot entries).
+	var postingIdx []int
+	var docs []indicators.BatchDoc
+	for i := range events {
+		if live[i] && events[i].Type == synth.EventTypePosting {
+			postingIdx = append(postingIdx, i)
+			docs = append(docs, indicators.BatchDoc{HTML: events[i].ArticleHTML, URL: events[i].ArticleURL})
+		}
+	}
+	reports := make(map[int]*indicators.Report, len(docs))
+	if len(docs) > 0 {
+		brs, err := p.Engine.EvaluateBatch(p.Compute, docs)
+		if err != nil {
+			// A pool-level failure (not a per-document one) is transient:
+			// retry every posting of the batch.
+			for _, i := range postingIdx {
+				results[i] = stream.Result{Outcome: stream.OutcomeRetry, Err: err}
+				live[i] = false
+			}
+		} else {
+			p.evaluated.Add(uint64(len(docs)))
+			for k, br := range brs {
+				i := postingIdx[k]
+				if br.Err != nil {
+					// Unparseable documents fail deterministically: dead-letter
+					// without burning retry attempts.
+					results[i] = stream.Result{Outcome: stream.OutcomeDead, Err: br.Err}
+					live[i] = false
+					continue
+				}
+				reports[i] = br.Report
+			}
+		}
+	}
+
+	// Stage 3a: commit postings in batch order, so reactions later in the
+	// batch resolve their article.
+	for _, i := range postingIdx {
+		if !live[i] {
+			continue
+		}
+		ev := &events[i]
+		if err := p.applyPosting(ev, reports[i]); err != nil {
+			outcome := stream.OutcomeRetry
+			if errors.Is(err, outlets.ErrNotFound) {
+				outcome = stream.OutcomeDead // no registry entry will appear on retry
+			}
+			results[i] = stream.Result{Outcome: outcome, Err: err}
+			live[i] = false
+			continue
+		}
+		results[i] = stream.Result{Outcome: stream.OutcomeCommitted}
+		p.publishAssessment(ev, reports[i])
+	}
+
+	// Stage 3b: resolve reactions and coalesce them into one aggregate
+	// commit per article (a single Table.Mutate applies the batch's summed
+	// bumps; reply rows upsert individually).
+	type reactionGroup struct {
+		articleID string
+		idx       []int
+		bumps     map[int]int64
+		replies   []rdbms.Row
+	}
+	var order []string
+	groups := make(map[string]*reactionGroup)
+	for i := range events {
+		if !live[i] || events[i].Type == synth.EventTypePosting {
+			continue
+		}
+		ev := &events[i]
+		articleID, ok := p.resolveArticleID(ev.ArticleURL)
+		if !ok {
+			// Orphan reactions retry: the posting may be queued behind a
+			// transient failure and land before the attempt budget runs out.
+			results[i] = stream.Result{
+				Outcome: stream.OutcomeRetry,
+				Err:     fmt.Errorf("reaction %s: %w", ev.PostID, ErrNotIngested),
+			}
+			continue
+		}
+		g := groups[articleID]
+		if g == nil {
+			g = &reactionGroup{articleID: articleID, bumps: make(map[int]int64)}
+			groups[articleID] = g
+			order = append(order, articleID)
+		}
+		effect := p.reactionEffect(ev, articleID)
+		for _, col := range effect.bumps {
+			g.bumps[col]++
+		}
+		if effect.reply != nil {
+			g.replies = append(g.replies, effect.reply)
+		}
+		g.idx = append(g.idx, i)
+	}
+	for _, articleID := range order {
+		g := groups[articleID]
+		err := func() error {
+			for _, row := range g.replies {
+				if err := p.replies.Upsert(row); err != nil {
+					return err
+				}
+			}
+			return p.social.Mutate(rdbms.String(g.articleID), func(agg rdbms.Row) (rdbms.Row, error) {
+				for col, n := range g.bumps {
+					agg[col] = rdbms.Int(agg[col].Int() + n)
+				}
+				return agg, nil
+			})
+		}()
+		for _, i := range g.idx {
+			if err != nil {
+				results[i] = stream.Result{Outcome: stream.OutcomeRetry, Err: err}
+			} else {
+				results[i] = stream.Result{Outcome: stream.OutcomeCommitted}
+			}
+		}
+		if err == nil {
+			n := len(g.idx)
+			p.bumpStat(func(s *IngestStats) { s.Reactions += n })
+		}
+	}
+	return results
+}
+
+// LiveAssessment is the payload published on the platform Bus (and served
+// over GET /api/stream) for each committed posting.
+type LiveAssessment struct {
+	ArticleID    string    `json:"article_id"`
+	OutletID     string    `json:"outlet_id"`
+	URL          string    `json:"url"`
+	Title        string    `json:"title"`
+	Published    time.Time `json:"published"`
+	Clickbait    float64   `json:"clickbait"`
+	Subjectivity float64   `json:"subjectivity"`
+	ReadingGrade float64   `json:"reading_grade"`
+	SciRatio     float64   `json:"sci_ratio"`
+	Composite    float64   `json:"composite"`
+	IsTopic      bool      `json:"is_topic"`
+}
+
+// publishAssessment pushes one committed posting's assessment to the live
+// feed. Best-effort: encoding failures and slow subscribers never affect
+// the ingest path.
+func (p *Platform) publishAssessment(ev *synth.Event, report *indicators.Report) {
+	id := ev.ArticleID
+	if id == "" {
+		id = ev.PostID
+	}
+	la := LiveAssessment{
+		ArticleID:    id,
+		OutletID:     ev.OutletID,
+		URL:          ev.ArticleURL,
+		Title:        report.Article.Title,
+		Published:    ev.Time,
+		Clickbait:    report.Content.Clickbait,
+		Subjectivity: report.Content.Subjectivity,
+		ReadingGrade: report.Content.ReadingGrade,
+		SciRatio:     report.Context.ScientificRatio,
+		Composite:    report.Composite,
+		IsTopic:      p.isTopic(report),
+	}
+	payload, err := json.Marshal(la)
+	if err != nil {
+		return
+	}
+	p.Bus.Publish(payload)
+}
+
+// StreamEvent encodes and enqueues one firehose event onto the ingestion
+// pipeline. block selects the backpressure mode: true parks the caller
+// while the target shard is full, false sheds with stream.ErrFull.
+func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
+	payload, err := ev.Encode()
+	if err != nil {
+		return err
+	}
+	if block {
+		return p.Pipeline.Enqueue(ev.ArticleURL, payload)
+	}
+	return p.Pipeline.TryEnqueue(ev.ArticleURL, payload)
+}
+
+// StreamEventCtx is StreamEvent in blocking mode with cancellation: a
+// caller abandoned mid-backpressure (an HTTP client that gave up) unblocks
+// with the context error instead of parking a goroutine on the full shard.
+func (p *Platform) StreamEventCtx(ctx context.Context, ev *synth.Event) error {
+	payload, err := ev.Encode()
+	if err != nil {
+		return err
+	}
+	return p.Pipeline.EnqueueCtx(ctx, ev.ArticleURL, payload)
+}
+
+// writeDeadLetter is the pipeline's OnDead hook: it records the event with
+// its final failure reason in the dead_letters table and feeds the
+// platform failure counters exactly once per event.
+func (p *Platform) writeDeadLetter(env stream.Envelope, cause error) {
+	switch {
+	case errors.Is(cause, ErrNotIngested):
+		p.bumpStat(func(s *IngestStats) { s.OrphanReactions++ })
+	case errors.Is(cause, indicators.ErrNoArticle):
+		p.bumpStat(func(s *IngestStats) { s.ParseFailures++ })
+	}
+	reason := "unknown"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	id := fmt.Sprintf("dl-%012d", p.dlSeq.Add(1))
+	_ = p.dead.Upsert(rdbms.Row{
+		rdbms.String(id),
+		rdbms.String(env.Key),
+		rdbms.String(string(env.Payload)),
+		rdbms.String(reason),
+		rdbms.Int(int64(env.Attempt)),
+		rdbms.Time(p.Clock()),
+	})
+}
+
+// DeadLetter is one inspectable dead_letters row.
+type DeadLetter struct {
+	// ID is the stable dead-letter id (insertion-ordered).
+	ID string
+	// Key is the envelope routing key (the article URL).
+	Key string
+	// Payload is the original event payload.
+	Payload []byte
+	// Reason is the final failure reason.
+	Reason string
+	// Attempts is the number of failed processing attempts.
+	Attempts int
+	// Time is when the event was dead-lettered.
+	Time time.Time
+}
+
+// DeadLetters returns the dead-letter queue in insertion order.
+func (p *Platform) DeadLetters() []DeadLetter {
+	var out []DeadLetter
+	p.dead.Scan(func(r rdbms.Row) bool {
+		out = append(out, DeadLetter{
+			ID:       r[0].Str(),
+			Key:      r[1].Str(),
+			Payload:  []byte(r[2].Str()),
+			Reason:   r[3].Str(),
+			Attempts: int(r[4].Int()),
+			Time:     r[5].Time(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReplayDeadLetters re-enqueues every dead-lettered event onto the
+// pipeline (with a fresh attempt budget) and removes it from the
+// dead_letters table. Events that fail again are re-dead-lettered under
+// new ids. With wait set it blocks until the replayed events — and only
+// those, not the pipeline's whole inflight set — reach a final outcome,
+// so a replay can complete under sustained concurrent ingest traffic.
+// It returns the number of replayed events.
+func (p *Platform) ReplayDeadLetters(wait bool) (int, error) {
+	letters := p.DeadLetters()
+	replayed := 0
+	var done sync.WaitGroup
+	for _, dl := range letters {
+		if err := p.Pipeline.EnqueueNotify(dl.Key, dl.Payload, &done); err != nil {
+			if wait {
+				done.Wait()
+			}
+			return replayed, fmt.Errorf("replay %s: %w", dl.ID, err)
+		}
+		if err := p.dead.Delete(rdbms.String(dl.ID)); err != nil {
+			if wait {
+				done.Wait()
+			}
+			return replayed, err
+		}
+		replayed++
+	}
+	if wait {
+		done.Wait()
+	}
+	return replayed, nil
+}
+
+// StreamStats is the merged per-stage counter snapshot of the streaming
+// subsystem: pipeline stages, dead-letter backlog and the live feed.
+type StreamStats struct {
+	// Pipeline counters (see stream.PipelineStats).
+	Enqueued     uint64 `json:"enqueued"`
+	Shed         uint64 `json:"shed"`
+	Evaluated    uint64 `json:"evaluated"`
+	Committed    uint64 `json:"committed"`
+	Retried      uint64 `json:"retried"`
+	DeadLettered uint64 `json:"dead_lettered"`
+	Batches      uint64 `json:"batches"`
+	Inflight     int64  `json:"inflight"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueDepths  []int  `json:"queue_depths"`
+	// Malformed counts payloads that failed to decode (a subset of
+	// DeadLettered).
+	Malformed uint64 `json:"malformed"`
+	// DeadLetterBacklog is the current dead_letters table size.
+	DeadLetterBacklog int `json:"dead_letter_backlog"`
+	// Live-feed counters.
+	Subscribers   uint64 `json:"subscribers"`
+	FeedPublished uint64 `json:"feed_published"`
+	FeedDropped   uint64 `json:"feed_dropped"`
+}
+
+// StreamStats snapshots the streaming subsystem's per-stage counters.
+func (p *Platform) StreamStats() StreamStats {
+	ps := p.Pipeline.Stats()
+	bs := p.Bus.Stats()
+	depth := 0
+	for _, d := range ps.QueueDepths {
+		depth += d
+	}
+	return StreamStats{
+		Enqueued:          ps.Enqueued,
+		Shed:              ps.Shed,
+		Evaluated:         p.evaluated.Load(),
+		Committed:         ps.Committed,
+		Retried:           ps.Retried,
+		DeadLettered:      ps.DeadLettered,
+		Batches:           ps.Batches,
+		Inflight:          ps.Inflight,
+		QueueDepth:        depth,
+		QueueDepths:       ps.QueueDepths,
+		Malformed:         p.malformed.Load(),
+		DeadLetterBacklog: p.dead.Len(),
+		Subscribers:       uint64(bs.Subscribers),
+		FeedPublished:     bs.Published,
+		FeedDropped:       bs.Dropped,
+	}
+}
+
+// Close drains the platform gracefully: the ingestion pipeline processes
+// everything accepted so far (including pending retries), the live feed
+// closes its subscribers, and the broker wakes any blocked producers and
+// consumers. Safe to call more than once.
+func (p *Platform) Close() {
+	p.Pipeline.Close()
+	p.Bus.Close()
+	p.Broker.Close()
+}

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is a lightweight in-process pub/sub fan-out: the ingestion pipeline
+// publishes each committed assessment and any number of subscribers (the
+// GET /api/stream SSE handlers) receive it on a buffered channel. Delivery
+// is best-effort per subscriber: a subscriber that cannot keep up has
+// messages dropped (and counted) rather than stalling the publisher — the
+// live feed is a notification stream, not a durable log.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[uint64]*Subscription
+	nextID uint64
+	closed bool
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// Subscription is one subscriber's feed. Receive from C; the channel is
+// closed when the subscription is cancelled or the bus closes.
+type Subscription struct {
+	// C delivers published payloads in publish order.
+	C <-chan []byte
+
+	bus     *Bus
+	id      uint64
+	ch      chan []byte
+	dropped atomic.Uint64
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[uint64]*Subscription)}
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (default 64). Cancel the subscription when done or its buffer keeps
+// dropping messages.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan []byte, buffer)
+	sub := &Subscription{C: ch, bus: b, id: b.nextID, ch: ch}
+	if b.closed {
+		close(ch)
+		return sub
+	}
+	b.nextID++
+	b.subs[sub.id] = sub
+	return sub
+}
+
+// Cancel removes the subscription and closes its channel. Safe to call
+// more than once.
+func (s *Subscription) Cancel() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if _, ok := s.bus.subs[s.id]; !ok {
+		return
+	}
+	delete(s.bus.subs, s.id)
+	close(s.ch)
+}
+
+// Dropped returns how many messages this subscriber missed because its
+// buffer was full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Publish fans the payload out to every subscriber without blocking and
+// returns the delivered count. Subscribers must not modify the payload.
+func (b *Bus) Publish(payload []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	b.published.Add(1)
+	delivered := 0
+	for _, sub := range b.subs {
+		select {
+		case sub.ch <- payload:
+			delivered++
+		default:
+			sub.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	return delivered
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// BusStats is a snapshot of the bus counters.
+type BusStats struct {
+	// Subscribers is the current subscriber count.
+	Subscribers int
+	// Published counts Publish calls; Dropped counts per-subscriber
+	// deliveries lost to full buffers.
+	Published, Dropped uint64
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	return BusStats{
+		Subscribers: b.Subscribers(),
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+	}
+}
+
+// Close cancels every subscription; further publishes are dropped. Safe to
+// call more than once.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,462 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline is the asynchronous staged-ingestion engine layered over the
+// broker abstractions of this package: producers enqueue raw keyed
+// envelopes onto sharded bounded queues (key-hash routing preserves
+// per-key ordering, e.g. an article's posting always precedes its
+// reactions), and one worker per shard drains micro-batches through a
+// caller-supplied batch processor. Per-envelope outcomes drive the rest of
+// the machinery: failures retry on the same shard with capped exponential
+// backoff and are handed to the dead-letter callback once the attempt
+// budget is exhausted.
+//
+// Backpressure is explicit and caller-selectable: Enqueue blocks while the
+// target shard is at capacity, TryEnqueue sheds with ErrFull (the API
+// layer's 429 path). Flush waits for every accepted envelope to reach a
+// final outcome (committed or dead-lettered), which is what makes a
+// graceful drain possible; Close drains and stops the workers.
+type Pipeline struct {
+	cfg    PipelineConfig
+	shards []*pshard
+	wg     sync.WaitGroup
+
+	enqueued atomic.Uint64
+	shed     atomic.Uint64
+	commits  atomic.Uint64
+	retries  atomic.Uint64
+	dead     atomic.Uint64
+	batches  atomic.Uint64
+
+	// inflight counts envelopes accepted but not yet at a final outcome
+	// (queued, in a batch, or waiting out a retry backoff). Flush waits for
+	// it to reach zero.
+	inflight atomic.Int64
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+
+	closed atomic.Bool
+}
+
+// Envelope is one raw event moving through the pipeline. Attempt counts
+// completed processing attempts (0 on first delivery).
+type Envelope struct {
+	// Key is the routing key; envelopes sharing a key are processed in
+	// enqueue order on one shard.
+	Key string
+	// Payload is the opaque event body.
+	Payload []byte
+	// Attempt is the number of failed processing attempts so far.
+	Attempt int
+
+	// notify, when set (EnqueueNotify), is marked done once the envelope
+	// reaches its final outcome. It rides along through retries.
+	notify *sync.WaitGroup
+}
+
+// Outcome classifies one envelope's processing result.
+type Outcome int
+
+const (
+	// OutcomeCommitted marks the envelope fully processed.
+	OutcomeCommitted Outcome = iota
+	// OutcomeRetry schedules the envelope for re-processing after a capped
+	// exponential backoff; once MaxAttempts is exhausted it dead-letters.
+	OutcomeRetry
+	// OutcomeDead dead-letters the envelope immediately (permanent
+	// failures: malformed payloads, unparseable documents).
+	OutcomeDead
+)
+
+// Result is one envelope's outcome from the batch processor. Err carries
+// the failure reason for retries and dead letters.
+type Result struct {
+	Outcome Outcome
+	Err     error
+}
+
+// PipelineConfig configures NewPipeline. Process is required; everything
+// else has working defaults.
+type PipelineConfig struct {
+	// Shards is the queue/worker count (default 4). Per-key ordering holds
+	// within a shard, so more shards buy parallelism across keys.
+	Shards int
+	// QueueCapacity bounds each shard's queue (default 1024). A full shard
+	// blocks Enqueue and sheds TryEnqueue.
+	QueueCapacity int
+	// MaxBatch is the micro-batch size a worker drains per processing round
+	// (default 64) — the amortisation unit for batched evaluation and
+	// batched store commits.
+	MaxBatch int
+	// MaxAttempts is the per-envelope attempt budget before dead-lettering
+	// (default 3).
+	MaxAttempts int
+	// Backoff is the first retry delay (default 5ms); each further attempt
+	// doubles it up to MaxBackoff (default 250ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Process handles one micro-batch for one shard and returns one Result
+	// per envelope, index-aligned (a short result slice treats the missing
+	// tail as committed). It runs concurrently across shards and must be
+	// safe for that.
+	Process func(shard int, batch []Envelope) []Result
+	// OnDead, when set, receives every dead-lettered envelope with its
+	// final failure reason (the platform writes it to the dead_letters
+	// table).
+	OnDead func(env Envelope, err error)
+}
+
+// pshard is one bounded FIFO plus its retry re-injection buffer. ready
+// holds envelopes whose backoff elapsed; they bypass the capacity bound
+// (their slot was accounted for when first enqueued) and are drained ahead
+// of the main queue.
+type pshard struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	queue    []Envelope
+	ready    []Envelope
+	capacity int
+	paused   bool
+	stopped  bool
+}
+
+func newPshard(capacity int) *pshard {
+	s := &pshard{capacity: capacity}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	return s
+}
+
+// NewPipeline builds and starts the pipeline workers.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 1024
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 5 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 250 * time.Millisecond
+	}
+	p := &Pipeline{cfg: cfg}
+	p.idleCond = sync.NewCond(&p.idleMu)
+	for i := 0; i < cfg.Shards; i++ {
+		p.shards = append(p.shards, newPshard(cfg.QueueCapacity))
+	}
+	for i := range p.shards {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pipeline) shardFor(key string) *pshard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	return p.shards[int(keyHash(key)%uint32(len(p.shards)))]
+}
+
+// Enqueue routes the envelope to its key's shard, blocking while the shard
+// is at capacity (the backpressure-by-blocking mode).
+func (p *Pipeline) Enqueue(key string, payload []byte) error {
+	return p.enqueue(nil, key, payload, true, nil)
+}
+
+// EnqueueCtx behaves like Enqueue but stops waiting when ctx is cancelled,
+// returning the context error — the shape request handlers need so an
+// abandoned client cannot park a goroutine on a full shard forever.
+func (p *Pipeline) EnqueueCtx(ctx context.Context, key string, payload []byte) error {
+	return p.enqueue(ctx, key, payload, true, nil)
+}
+
+// EnqueueNotify behaves like Enqueue and additionally marks wg done when
+// the envelope reaches its final outcome (committed or dead-lettered,
+// after any retries) — the hook dead-letter replay uses to wait for its
+// own envelopes without flushing the whole pipeline.
+func (p *Pipeline) EnqueueNotify(key string, payload []byte, wg *sync.WaitGroup) error {
+	return p.enqueue(nil, key, payload, true, wg)
+}
+
+// TryEnqueue routes the envelope to its key's shard, shedding with ErrFull
+// when the shard is at capacity (the backpressure-by-load-shedding mode).
+func (p *Pipeline) TryEnqueue(key string, payload []byte) error {
+	return p.enqueue(nil, key, payload, false, nil)
+}
+
+func (p *Pipeline) enqueue(ctx context.Context, key string, payload []byte, block bool, notify *sync.WaitGroup) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	s := p.shardFor(key)
+	if ctx != nil && block {
+		// Wake the wait loop below on cancellation. Broadcasting under the
+		// shard lock pairs with the loop's ctx re-check: the waiter either
+		// sees the error before parking or is woken after.
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.notFull.Broadcast()
+		})
+		defer stop()
+	}
+	s.mu.Lock()
+	for len(s.queue) >= s.capacity && !s.stopped {
+		if !block {
+			s.mu.Unlock()
+			p.shed.Add(1)
+			return ErrFull
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.notFull.Wait()
+	}
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	// Count the envelope in-flight before it becomes visible to a worker,
+	// or a fast worker could retire it first and Flush would see a
+	// transient zero with work still outstanding.
+	p.inflight.Add(1)
+	p.enqueued.Add(1)
+	if notify != nil {
+		notify.Add(1)
+	}
+	s.queue = append(s.queue, Envelope{Key: key, Payload: payload, notify: notify})
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+	return nil
+}
+
+// requeueReady re-injects an envelope whose retry backoff elapsed; it is
+// drained ahead of the main queue so a retried event does not fall behind
+// its shard's backlog forever.
+func (s *pshard) requeueReady(env Envelope) {
+	s.mu.Lock()
+	s.ready = append(s.ready, env)
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+}
+
+// next blocks until the shard has work (or is stopped and empty) and
+// returns up to max envelopes, due retries first.
+func (s *pshard) next(max int) []Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped && len(s.queue) == 0 && len(s.ready) == 0 {
+			return nil
+		}
+		if !s.paused && (len(s.queue) > 0 || len(s.ready) > 0) {
+			break
+		}
+		s.notEmpty.Wait()
+	}
+	batch := make([]Envelope, 0, max)
+	n := min(max, len(s.ready))
+	batch = append(batch, s.ready[:n]...)
+	s.ready = append(s.ready[:0], s.ready[n:]...)
+	if rest := max - len(batch); rest > 0 {
+		n = min(rest, len(s.queue))
+		batch = append(batch, s.queue[:n]...)
+		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.notFull.Broadcast()
+	}
+	return batch
+}
+
+func (s *pshard) setPaused(v bool) {
+	s.mu.Lock()
+	s.paused = v
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+}
+
+func (s *pshard) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+}
+
+func (s *pshard) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) + len(s.ready)
+}
+
+func (p *Pipeline) worker(i int) {
+	defer p.wg.Done()
+	s := p.shards[i]
+	for {
+		batch := s.next(p.cfg.MaxBatch)
+		if batch == nil {
+			return
+		}
+		p.batches.Add(1)
+		results := p.cfg.Process(i, batch)
+		for j, env := range batch {
+			var res Result
+			if j < len(results) {
+				res = results[j]
+			}
+			switch res.Outcome {
+			case OutcomeCommitted:
+				p.commits.Add(1)
+				p.retire(env)
+			case OutcomeRetry:
+				env.Attempt++
+				if env.Attempt >= p.cfg.MaxAttempts {
+					p.deadLetter(env, res.Err)
+					break
+				}
+				p.retries.Add(1)
+				env := env
+				time.AfterFunc(p.backoffFor(env.Attempt), func() { s.requeueReady(env) })
+			case OutcomeDead:
+				p.deadLetter(env, res.Err)
+			}
+		}
+	}
+}
+
+// backoffFor doubles the base delay per completed attempt, capped.
+func (p *Pipeline) backoffFor(attempt int) time.Duration {
+	d := p.cfg.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.cfg.MaxBackoff {
+			return p.cfg.MaxBackoff
+		}
+	}
+	return min(d, p.cfg.MaxBackoff)
+}
+
+func (p *Pipeline) deadLetter(env Envelope, err error) {
+	p.dead.Add(1)
+	if p.cfg.OnDead != nil {
+		p.cfg.OnDead(env, err)
+	}
+	p.retire(env)
+}
+
+// retire marks one envelope's final outcome: it releases any
+// EnqueueNotify waiter and wakes Flush when the pipeline idles.
+func (p *Pipeline) retire(env Envelope) {
+	if env.notify != nil {
+		env.notify.Done()
+	}
+	if p.inflight.Add(-1) == 0 {
+		p.idleMu.Lock()
+		p.idleCond.Broadcast()
+		p.idleMu.Unlock()
+	}
+}
+
+// Flush blocks until every accepted envelope has reached a final outcome
+// (committed or dead-lettered), including envelopes waiting out a retry
+// backoff. It does not stop the workers and must not be called while the
+// pipeline is paused with work pending.
+func (p *Pipeline) Flush() {
+	p.idleMu.Lock()
+	defer p.idleMu.Unlock()
+	for p.inflight.Load() != 0 {
+		p.idleCond.Wait()
+	}
+}
+
+// Pause stops the workers from starting new batches (in-flight batches
+// complete). Producers keep enqueueing until the queues fill.
+func (p *Pipeline) Pause() {
+	for _, s := range p.shards {
+		s.setPaused(true)
+	}
+}
+
+// Resume undoes Pause.
+func (p *Pipeline) Resume() {
+	for _, s := range p.shards {
+		s.setPaused(false)
+	}
+}
+
+// Close drains the pipeline gracefully: new enqueues fail with ErrClosed,
+// every accepted envelope is processed to a final outcome, then the
+// workers exit. Safe to call more than once.
+func (p *Pipeline) Close() {
+	if p.closed.Swap(true) {
+		p.wg.Wait()
+		return
+	}
+	p.Resume()
+	p.Flush()
+	for _, s := range p.shards {
+		s.stop()
+	}
+	p.wg.Wait()
+}
+
+// Depth returns the total queued-envelope count across shards (excluding
+// envelopes waiting out a retry backoff).
+func (p *Pipeline) Depth() int {
+	total := 0
+	for _, s := range p.shards {
+		total += s.depth()
+	}
+	return total
+}
+
+// PipelineStats is a snapshot of the pipeline counters.
+type PipelineStats struct {
+	// Enqueued counts accepted envelopes; Shed counts TryEnqueue rejections.
+	Enqueued, Shed uint64
+	// Committed, Retried and DeadLettered count per-envelope outcomes
+	// (Retried counts re-processing attempts, not envelopes).
+	Committed, Retried, DeadLettered uint64
+	// Batches counts processed micro-batches.
+	Batches uint64
+	// Inflight is the number of envelopes not yet at a final outcome.
+	Inflight int64
+	// QueueDepths is the per-shard queued-envelope count.
+	QueueDepths []int
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (p *Pipeline) Stats() PipelineStats {
+	depths := make([]int, len(p.shards))
+	for i, s := range p.shards {
+		depths[i] = s.depth()
+	}
+	return PipelineStats{
+		Enqueued:     p.enqueued.Load(),
+		Shed:         p.shed.Load(),
+		Committed:    p.commits.Load(),
+		Retried:      p.retries.Load(),
+		DeadLettered: p.dead.Load(),
+		Batches:      p.batches.Load(),
+		Inflight:     p.inflight.Load(),
+		QueueDepths:  depths,
+	}
+}

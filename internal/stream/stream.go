@@ -1,19 +1,36 @@
-// Package stream implements the outlet-based streaming pipeline at the
-// entry of the SciLens platform (paper §3.3). The original system wraps the
-// commercial Datastreamer API as a messaging queue; this package provides
-// the equivalent embedded broker: named topics split into partitions,
-// key-hash routing, consumer groups with committed offsets (at-least-once
-// delivery), bounded partitions with producer backpressure, and blocking
-// polls with timeouts.
+// Package stream implements the streaming entry of the SciLens platform
+// (paper §3.3). The original system wraps the commercial Datastreamer API
+// as a messaging queue; this package provides the equivalent embedded
+// building blocks:
+//
+//   - Broker: named topics split into partitions, key-hash routing,
+//     consumer groups with committed offsets (at-least-once delivery),
+//     bounded partitions with producer backpressure, blocking polls.
+//   - Pipeline: the asynchronous staged ingestion engine — sharded bounded
+//     queues feeding micro-batched processing with per-key ordering,
+//     caller-selectable backpressure (block or shed), capped-backoff
+//     retries and dead-letter handoff.
+//   - Bus: in-process pub/sub fan-out for the live assessment feed.
 package stream
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 )
+
+// keyHash is allocation-free FNV-1a over the key — the one routing hash
+// shared by broker partition routing and pipeline sharding, so the two
+// cannot drift.
+func keyHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
 
 // Sentinel errors.
 var (
@@ -258,9 +275,7 @@ func (t *topic) routePartition(key string) int {
 	if key == "" {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(t.parts)))
+	return int(keyHash(key) % uint32(len(t.parts)))
 }
 
 // Publish appends a message, blocking while the target partition is full.

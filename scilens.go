@@ -44,6 +44,15 @@ type (
 	// ComputePool is the worker pool the parallel jobs run on (the
 	// paper's Spark role).
 	ComputePool = compute.Pool
+	// StreamStats is the per-stage counter snapshot of the streaming
+	// ingestion subsystem (pipeline stages, dead letters, live feed).
+	StreamStats = core.StreamStats
+	// LiveAssessment is one committed assessment as published on the live
+	// feed (GET /api/stream).
+	LiveAssessment = core.LiveAssessment
+	// DeadLetter is one event the streaming pipeline gave up on, with its
+	// failure reason; replay with Platform.ReplayDeadLetters.
+	DeadLetter = core.DeadLetter
 )
 
 // NewComputePool builds a worker pool for the parallel training and
