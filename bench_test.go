@@ -523,16 +523,18 @@ func mustCluster(b *testing.B) *dfs.Cluster {
 // BenchmarkReindexCorpus measures whole-corpus batch re-evaluation (the
 // post-retraining re-indexing job) at different compute-pool widths,
 // reporting article throughput. The fixture's models are unchanged between
-// iterations, so every run streams the full document store through the
-// indicator pipeline and rewrites nothing — isolating evaluation + store
-// traversal, the dominant cost of a real reindex.
+// iterations, so every run is forced past the model-generation watermark
+// (which would otherwise skip every already-current row): it streams the
+// full document store through the indicator pipeline and rewrites nothing
+// — isolating evaluation + store traversal, the dominant cost of a real
+// reindex.
 func BenchmarkReindexCorpus(b *testing.B) {
 	p, w := benchFixture(b)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			pool := compute.NewPool(workers, 1)
 			for i := 0; i < b.N; i++ {
-				rep, err := p.ReindexCorpus(pool)
+				rep, err := p.ReindexCorpus(pool, scilens.ReindexForce())
 				if err != nil {
 					b.Fatal(err)
 				}

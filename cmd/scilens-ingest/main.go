@@ -7,10 +7,15 @@
 // (paper §1). The -sync flag runs the historic one-event-at-a-time loop
 // instead, for an A/B on the same world.
 //
+// With -data-dir the run writes through the durable storage lifecycle:
+// every committed row is write-ahead logged as it lands, and the closing
+// checkpoint compacts the log into a snapshot — the kill-and-recover
+// deployment shape, measurable against the in-memory default.
+//
 // Usage:
 //
 //	scilens-ingest [-seed N] [-days N] [-scale F] [-consumers N] [-queue N]
-//	               [-shards N] [-batch N] [-sync]
+//	               [-shards N] [-batch N] [-sync] [-data-dir DIR] [-partitions N]
 package main
 
 import (
@@ -30,19 +35,21 @@ func main() {
 		reactions = flag.Float64("reactions", 0.5, "social cascade size scale")
 		consumers = flag.Int("consumers", 4, "ingestion consumer-group size")
 		queue     = flag.Int("queue", 8192, "per-partition broker queue capacity")
-		shards    = flag.Int("shards", 4, "pipeline shard/worker count")
-		batch     = flag.Int("batch", 64, "pipeline micro-batch size")
-		syncMode  = flag.Bool("sync", false, "bypass the pipeline: synchronous one-event-at-a-time ingest")
+		shards     = flag.Int("shards", 4, "pipeline shard/worker count")
+		batch      = flag.Int("batch", 64, "pipeline micro-batch size")
+		syncMode   = flag.Bool("sync", false, "bypass the pipeline: synchronous one-event-at-a-time ingest")
+		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory)")
+		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode); err != nil {
+	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions); err != nil {
 		fmt.Fprintln(os.Stderr, "scilens-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool) error {
+func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int) (err error) {
 	world := scilens.GenerateWorld(scilens.WorldConfig{
 		Seed: seed, Days: days, RateScale: scale, ReactionScale: reactions,
 	})
@@ -51,14 +58,26 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 		len(world.Articles), len(events), world.Days)
 
 	platform, err := scilens.New(scilens.Config{
-		QueueCapacity:   queue,
-		StreamShards:    shards,
-		StreamBatchSize: batch,
+		QueueCapacity:     queue,
+		StreamShards:      shards,
+		StreamBatchSize:   batch,
+		DataDir:           dataDir,
+		StoragePartitions: partitions,
 	})
 	if err != nil {
 		return err
 	}
-	defer platform.Close()
+	// The closing checkpoint is the durability guarantee of a -data-dir
+	// run; its failure must fail the command, not vanish in a defer.
+	defer func() {
+		if cerr := platform.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if st := platform.StorageStats(); st.Durable && st.Rows > 0 {
+		fmt.Printf("recovered:       %d rows from %s (%d WAL records replayed)\n",
+			st.Rows, st.Dir, st.RecoveredRecords)
+	}
 
 	start := time.Now()
 	var n int
@@ -91,6 +110,10 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 		ss := platform.StreamStats()
 		fmt.Printf("pipeline:        enqueued=%d evaluated=%d committed=%d batches=%d retried=%d dead-lettered=%d shed=%d\n",
 			ss.Enqueued, ss.Evaluated, ss.Committed, ss.Batches, ss.Retried, ss.DeadLettered, ss.Shed)
+	}
+	if st := platform.StorageStats(); st.Durable {
+		fmt.Printf("storage:         rows=%d wal-records=%d wal-bytes=%d partitions(articles)=%d\n",
+			st.Rows, st.WALRecords, st.WALBytes, st.TablePartitions["articles"])
 	}
 	if stats.ParseFailures > 0 || stats.OrphanReactions > 0 {
 		return fmt.Errorf("ingestion dropped events: %+v", stats)

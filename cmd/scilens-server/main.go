@@ -2,9 +2,16 @@
 // the system, streams a synthetic firehose through the ingestion path, and
 // serves the Indicators API micro-services (paper §3.3) over HTTP.
 //
+// With -data-dir the store is durable: state recovers from the directory's
+// snapshot + WAL on start (skipping the synthetic bootstrap when the
+// recovered corpus is non-empty), every mutation is write-ahead logged,
+// POST /api/checkpoint persists online, and a SIGINT/SIGTERM shutdown
+// drains the pipeline and writes a final checkpoint.
+//
 // Usage:
 //
 //	scilens-server [-addr :8080] [-seed N] [-days N] [-scale F]
+//	               [-data-dir DIR] [-partitions N]
 //
 // Endpoints:
 //
@@ -16,13 +23,19 @@
 //	GET  /api/insights/consensus      consensus experiment (claim C2)
 //	POST /api/reviews                 submit an expert review (§3.2)
 //	GET  /api/reviews?article_id=...  review aggregate for an article
-//	GET  /api/health                  ingestion counters
+//	POST /api/reindex                 re-evaluate the stored corpus
+//	POST /api/checkpoint              persist the store online
+//	GET  /api/health                  ingestion + storage counters
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	scilens "repro"
@@ -30,23 +43,34 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Int64("seed", 1, "world seed")
-		days      = flag.Int("days", 30, "collection window length in days")
-		scale     = flag.Float64("scale", 0.5, "outlet posting-rate scale")
-		reactions = flag.Float64("reactions", 0.3, "social cascade size scale")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Int64("seed", 1, "world seed")
+		days       = flag.Int("days", 30, "collection window length in days")
+		scale      = flag.Float64("scale", 0.5, "outlet posting-rate scale")
+		reactions  = flag.Float64("reactions", 0.3, "social cascade size scale")
+		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory)")
+		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
 	)
 	flag.Parse()
 
-	log.Printf("bootstrapping platform (seed=%d days=%d)", *seed, *days)
+	log.Printf("bootstrapping platform (seed=%d days=%d data-dir=%q)", *seed, *days, *dataDir)
 	start := time.Now()
 	platform, world, err := scilens.Bootstrap(scilens.BootstrapConfig{
 		Seed: seed64(*seed), Days: *days, RateScale: *scale, ReactionScale: *reactions,
+		Platform: scilens.Config{
+			DataDir:           *dataDir,
+			StoragePartitions: *partitions,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	stats := platform.Stats()
+	st := platform.StorageStats()
+	if st.RecoveredRecords > 0 || st.Durable {
+		log.Printf("storage: durable=%v rows=%d wal-records=%d recovered=%d truncated=%v",
+			st.Durable, st.Rows, st.WALRecords, st.RecoveredRecords, st.RecoveredTruncated)
+	}
 	log.Printf("ingested %d articles, %d reactions in %v",
 		stats.Postings, stats.Reactions, time.Since(start).Round(time.Millisecond))
 	log.Printf("example article: %s", world.Articles[0].URL)
@@ -56,10 +80,33 @@ func main() {
 		Handler:           scilens.NewHTTPServer(platform),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Graceful shutdown: stop accepting requests and let in-flight ones
+	// finish, then drain the pipeline and (for durable stores) write a
+	// final checkpoint. A failed persist exits non-zero so orchestrators
+	// do not mistake it for a clean shutdown.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("shutting down: stopping HTTP, draining pipeline, checkpointing")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := platform.Close(); err != nil {
+			log.Printf("close: %v", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 	log.Printf("indicators API listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	// ListenAndServe returned because Shutdown ran; wait for the handler
+	// goroutine to finish the checkpoint and exit the process.
+	select {}
 }
 
 func seed64(s int64) int64 {

@@ -80,6 +80,27 @@
 // rows to the synchronous IngestEvent path, and Platform.Close drains it
 // gracefully.
 //
+// # Partitioned storage and durability
+//
+// The embedded store (internal/rdbms) shards every table into P
+// lock-striped partitions keyed by primary-key hash: each stripe owns its
+// heap, primary-key index and secondary-index shards, so the stream
+// pipeline's parallel shards and the real-time read paths stop contending
+// on one table lock; ordered range scans merge the per-partition indexes
+// back into one ascending stream. Durability is opt-in via Config.DataDir:
+// when set, NewPlatform recovers the previous state from the directory's
+// snapshot plus WAL replay (tolerating a torn log tail from a crash
+// mid-write — the log is truncated at the last good record, never
+// abandoned), every mutation is write-ahead logged before the call
+// returns, Platform.Checkpoint persists online under concurrent traffic
+// (POST /api/checkpoint), and Platform.Close drains the pipeline and
+// writes a final checkpoint. An empty DataDir preserves the historic
+// behaviour exactly: a purely in-memory platform that touches no disk.
+// Stored article rows carry a model-generation watermark, so
+// ReindexCorpus after a retrain only re-evaluates rows that are actually
+// stale (ReindexForce overrides); the dead_letters table is bounded by
+// age/size retention with oldest-first eviction.
+//
 // Everything is deterministic for a fixed seed and uses only the Go
 // standard library.
 package scilens

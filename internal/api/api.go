@@ -24,6 +24,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/outlets"
+	"repro/internal/rdbms"
 	"repro/internal/reviews"
 	"repro/internal/synth"
 )
@@ -118,6 +119,7 @@ func (s *AssessmentService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request) {
 	stats := s.platform.Stats()
 	ss := s.platform.StreamStats()
+	st := s.platform.StorageStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       "ok",
 		"postings":     stats.Postings,
@@ -126,6 +128,15 @@ func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request)
 		"queue_depths": ss.QueueDepths,
 		"inflight":     ss.Inflight,
 		"dead_letters": ss.DeadLetterBacklog,
+		"storage": map[string]any{
+			"durable":         st.Durable,
+			"rows":            st.Rows,
+			"partitions":      st.TablePartitions,
+			"wal_records":     st.WALRecords,
+			"wal_bytes":       st.WALBytes,
+			"checkpoints":     st.Checkpoints,
+			"last_checkpoint": st.LastCheckpoint,
+		},
 	})
 }
 
@@ -586,6 +597,7 @@ type AdminService struct {
 func NewAdminService(p *core.Platform) *AdminService {
 	s := &AdminService{platform: p, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /api/reindex", s.handleReindex)
+	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	return s
 }
 
@@ -599,6 +611,10 @@ type reindexRequest struct {
 	// Workers overrides the compute-pool parallelism for this run
 	// (0 = the platform's shared pool).
 	Workers int `json:"workers"`
+	// Force re-evaluates every row, ignoring the model-generation
+	// watermark that normally skips rows already current under the live
+	// models.
+	Force bool `json:"force"`
 }
 
 // reindexResponse reports one corpus re-evaluation run.
@@ -606,6 +622,7 @@ type reindexResponse struct {
 	Articles      int     `json:"articles"`
 	Changed       int     `json:"changed"`
 	Failed        int     `json:"failed"`
+	Skipped       int     `json:"skipped"`
 	Replies       int     `json:"replies"`
 	StanceChanged int     `json:"stance_changed"`
 	RowsPerSec    float64 `json:"rows_per_sec"`
@@ -629,7 +646,11 @@ func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
 	if req.Workers > 0 {
 		pool = compute.NewPool(req.Workers, 1)
 	}
-	rep, err := s.platform.ReindexCorpus(pool)
+	var opts []core.ReindexOption
+	if req.Force {
+		opts = append(opts, core.ReindexForce())
+	}
+	rep, err := s.platform.ReindexCorpus(pool, opts...)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -638,10 +659,45 @@ func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
 		Articles:      rep.Articles,
 		Changed:       rep.Changed,
 		Failed:        rep.Failed,
+		Skipped:       rep.Skipped,
 		Replies:       rep.Replies,
 		StanceChanged: rep.StanceChanged,
 		RowsPerSec:    rep.RowsPerSec,
 		DurationMS:    float64(rep.Duration.Microseconds()) / 1000,
+	})
+}
+
+// checkpointResponse reports one online checkpoint.
+type checkpointResponse struct {
+	Tables         int     `json:"tables"`
+	Rows           int     `json:"rows"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	SegmentsPruned int     `json:"segments_pruned"`
+	WALSegment     int     `json:"wal_segment"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
+// handleCheckpoint persists the store online: WAL rotation + snapshot +
+// segment prune, while the real-time paths keep serving. Platforms without
+// a data directory answer 409 — there is nothing durable to write to.
+func (s *AdminService) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st, err := s.platform.Checkpoint()
+	if err != nil {
+		if errors.Is(err, rdbms.ErrNoDir) {
+			writeError(w, http.StatusConflict,
+				errors.New("platform has no data directory (start with Config.DataDir / -data-dir)"))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Tables:         st.Tables,
+		Rows:           st.Rows,
+		SnapshotBytes:  st.SnapshotBytes,
+		SegmentsPruned: st.SegmentsPruned,
+		WALSegment:     st.WALSegment,
+		DurationMS:     float64(st.Duration.Microseconds()) / 1000,
 	})
 }
 
@@ -664,6 +720,7 @@ func NewServer(p *core.Platform) *Server {
 	s.mux.Handle("/api/insights/", insights)
 	s.mux.Handle("/api/reviews", review)
 	s.mux.Handle("/api/reindex", admin)
+	s.mux.Handle("/api/checkpoint", admin)
 	s.mux.Handle("/api/ingest", ingest)
 	s.mux.Handle("/api/ingest/", ingest)
 	s.mux.Handle("/api/stream", ingest)

@@ -177,7 +177,9 @@ func (s *IngestService) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats serves the platform ingestion counters plus the streaming
-// subsystem's per-stage counters.
+// subsystem's per-stage counters and the storage engine's state
+// (partitions, WAL volume, checkpoint/recovery history, dead-letter
+// evictions).
 func (s *IngestService) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.platform.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -186,5 +188,6 @@ func (s *IngestService) handleStats(w http.ResponseWriter, r *http.Request) {
 		"parse_failures":   stats.ParseFailures,
 		"orphan_reactions": stats.OrphanReactions,
 		"pipeline":         s.platform.StreamStats(),
+		"storage":          s.platform.StorageStats(),
 	})
 }

@@ -31,7 +31,7 @@ func streamFixture(t *testing.T, cfg core.Config) (*core.Platform, *Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { _ = p.Close() })
 	return p, NewServer(p)
 }
 
@@ -221,7 +221,7 @@ func TestReplayEndpointRoundTrip(t *testing.T) {
 // lose a single reaction.
 func TestStreamingConcurrentWithReindexAndAssess(t *testing.T) {
 	p, w, srv := apiFixture(t)
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { _ = p.Close() })
 	events := w.Events()
 	wantReactions := 0
 	for _, c := range w.Cascades {

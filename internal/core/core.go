@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,17 @@ type Platform struct {
 	dlSeq     atomic.Uint64 // dead-letter id sequence
 	evaluated atomic.Uint64 // postings through the batched-evaluation stage
 	malformed atomic.Uint64 // payloads that failed to decode
+
+	// Dead-letter retention (see streaming.go).
+	dlMaxCount int
+	dlMaxAge   time.Duration
+	dlMu       sync.Mutex    // serialises retention sweeps; guards dlOldest
+	dlOldest   uint64        // eviction cursor: no live row has a smaller seq
+	dlEvicted  atomic.Uint64 // rows evicted by the retention policy
+
+	// dataDir is the durable home of the store ("" = in-memory platform).
+	dataDir string
+	closed  atomic.Bool
 }
 
 // IngestStats counts ingestion outcomes.
@@ -146,6 +158,26 @@ type Config struct {
 	// attempt up to StreamMaxBackoff (default 250ms).
 	StreamBackoff    time.Duration
 	StreamMaxBackoff time.Duration
+
+	// DataDir is the durable home of the real-time store. When set,
+	// NewPlatform recovers the previous state (snapshot + WAL replay) from
+	// the directory, every mutation is write-ahead logged, and
+	// Platform.Checkpoint / Close persist snapshots. Empty keeps today's
+	// purely in-memory behaviour: nothing touches disk and a restart
+	// starts empty.
+	DataDir string
+	// StoragePartitions is the lock-stripe count for the store's tables
+	// (default rdbms.DefaultPartitions; 1 degenerates to the historic
+	// single-lock tables).
+	StoragePartitions int
+
+	// DeadLetterMaxCount bounds the dead_letters table; when an insert
+	// pushes the backlog above the bound, the oldest rows are evicted
+	// (default 4096; negative disables the size bound).
+	DeadLetterMaxCount int
+	// DeadLetterMaxAge evicts dead letters older than this on every
+	// dead-letter write (default 0 = no age bound).
+	DeadLetterMaxAge time.Duration
 }
 
 // NewPlatform builds the platform: broker topic, store schemas, warehouse
@@ -169,16 +201,37 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.TopicName == "" {
 		cfg.TopicName = "health/covid-19"
 	}
+	if cfg.DeadLetterMaxCount == 0 {
+		cfg.DeadLetterMaxCount = 4096
+	}
+
+	// The store: recovered from disk when a data directory is configured
+	// (snapshot restore + WAL replay with torn-tail tolerance), in-memory
+	// otherwise.
+	var db *rdbms.DB
+	if cfg.DataDir != "" {
+		var err error
+		db, err = rdbms.OpenWithOptions(cfg.DataDir, rdbms.Options{Partitions: cfg.StoragePartitions})
+		if err != nil {
+			return nil, fmt.Errorf("core: open data dir: %w", err)
+		}
+	} else {
+		db = rdbms.NewDBWithOptions(rdbms.Options{Partitions: cfg.StoragePartitions})
+	}
 
 	p := &Platform{
 		Broker:    stream.NewBrokerWithClock(cfg.Clock),
-		DB:        rdbms.NewDB(),
+		DB:        db,
 		Registry:  cfg.Registry,
 		Engine:    indicators.NewEngine(indicators.Config{Registry: cfg.Registry}),
 		Reviews:   reviews.NewStore(),
 		Compute:   compute.NewPool(cfg.ComputeWorkers, 1),
 		Clock:     cfg.Clock,
 		TopicName: cfg.TopicName,
+
+		dlMaxCount: cfg.DeadLetterMaxCount,
+		dlMaxAge:   cfg.DeadLetterMaxAge,
+		dataDir:    cfg.DataDir,
 	}
 	var err error
 	p.Warehouse, err = dfs.NewCluster(dfs.Config{DataNodes: cfg.WarehouseNodes, BlockSize: 1 << 18, Replication: 3})
@@ -208,6 +261,40 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if p.dead, err = p.DB.Table(DeadLettersTable); err != nil {
 		return nil, err
 	}
+	// Recovered dead letters keep their ids; continue the sequence after
+	// the highest one so new failures never collide with (and overwrite)
+	// recovered rows, and start the retention cursor at the lowest.
+	minSeq := uint64(0)
+	p.dead.Scan(func(r rdbms.Row) bool {
+		n, ok := deadLetterSeq(r[0].Str())
+		if !ok {
+			return true
+		}
+		if n > p.dlSeq.Load() {
+			p.dlSeq.Store(n)
+		}
+		if minSeq == 0 || n < minSeq {
+			minSeq = n
+		}
+		return true
+	})
+	if minSeq == 0 {
+		minSeq = p.dlSeq.Load() + 1
+	}
+	p.dlOldest = minSeq
+	// Recovered rows carry model generations stamped by a previous
+	// process whose counter died with it; raise this process's counter
+	// past the highest stored one so a stale row can never alias a new
+	// generation (the incremental-reindex watermark must stay sound
+	// across restarts).
+	maxGen := uint64(0)
+	p.articles.Scan(func(r rdbms.Row) bool {
+		if g := uint64(r[colModelGen].Int()); g > maxGen {
+			maxGen = g
+		}
+		return true
+	})
+	p.Engine.EnsureModelGenerationAbove(maxGen)
 	p.Bus = stream.NewBus()
 	p.Pipeline = stream.NewPipeline(stream.PipelineConfig{
 		Shards:        cfg.StreamShards,
@@ -222,7 +309,26 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// createSchemas declares the hot-store tables and indexes.
+// ensureTable creates the table if it is missing, or returns the existing
+// one — a recovered platform (Config.DataDir) already has its tables.
+func (p *Platform) ensureTable(name string, schema *rdbms.Schema) (*rdbms.Table, error) {
+	if t, err := p.DB.Table(name); err == nil {
+		return t, nil
+	}
+	return p.DB.CreateTable(name, schema)
+}
+
+// ensureIndex declares an index, tolerating one recovered from disk.
+func ensureIndex(t *rdbms.Table, col string, kind rdbms.IndexKind) error {
+	if err := t.CreateIndex(col, kind); err != nil && !errors.Is(err, rdbms.ErrExists) {
+		return err
+	}
+	return nil
+}
+
+// createSchemas declares the hot-store tables and indexes. Idempotent:
+// tables and indexes already present (recovered from a data directory) are
+// kept as-is.
 func (p *Platform) createSchemas() error {
 	articleSchema, err := rdbms.NewSchema([]rdbms.Column{
 		{Name: "id", Type: rdbms.TString},
@@ -242,21 +348,24 @@ func (p *Platform) createSchemas() error {
 		{Name: "has_refs", Type: rdbms.TBool},
 		{Name: "is_topic", Type: rdbms.TBool},
 		{Name: "composite", Type: rdbms.TFloat},
+		// model_gen is the engine model generation the row's indicator
+		// columns were computed under — the incremental-reindex watermark.
+		{Name: "model_gen", Type: rdbms.TInt, NotNull: true},
 	}, "id")
 	if err != nil {
 		return err
 	}
-	articlesTable, err := p.DB.CreateTable(ArticlesTable, articleSchema)
+	articlesTable, err := p.ensureTable(ArticlesTable, articleSchema)
 	if err != nil {
 		return err
 	}
-	if err := articlesTable.CreateIndex("url", rdbms.HashIndex); err != nil {
+	if err := ensureIndex(articlesTable, "url", rdbms.HashIndex); err != nil {
 		return err
 	}
-	if err := articlesTable.CreateIndex("outlet_id", rdbms.HashIndex); err != nil {
+	if err := ensureIndex(articlesTable, "outlet_id", rdbms.HashIndex); err != nil {
 		return err
 	}
-	if err := articlesTable.CreateIndex("published", rdbms.OrderedIndex); err != nil {
+	if err := ensureIndex(articlesTable, "published", rdbms.OrderedIndex); err != nil {
 		return err
 	}
 
@@ -273,7 +382,7 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	if _, err := p.DB.CreateTable(SocialTable, socialSchema); err != nil {
+	if _, err := p.ensureTable(SocialTable, socialSchema); err != nil {
 		return err
 	}
 
@@ -286,11 +395,11 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	repliesTable, err := p.DB.CreateTable(RepliesTable, replySchema)
+	repliesTable, err := p.ensureTable(RepliesTable, replySchema)
 	if err != nil {
 		return err
 	}
-	if err := repliesTable.CreateIndex("article_id", rdbms.HashIndex); err != nil {
+	if err := ensureIndex(repliesTable, "article_id", rdbms.HashIndex); err != nil {
 		return err
 	}
 
@@ -302,7 +411,7 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	if _, err = p.DB.CreateTable(DocsTable, docSchema); err != nil {
+	if _, err = p.ensureTable(DocsTable, docSchema); err != nil {
 		return err
 	}
 
@@ -317,7 +426,7 @@ func (p *Platform) createSchemas() error {
 	if err != nil {
 		return err
 	}
-	_, err = p.DB.CreateTable(DeadLettersTable, deadSchema)
+	_, err = p.ensureTable(DeadLettersTable, deadSchema)
 	return err
 }
 
@@ -401,12 +510,16 @@ func (p *Platform) IngestEvent(ev *synth.Event) error {
 
 // ingestPosting extracts and evaluates the article, then stores it.
 func (p *Platform) ingestPosting(ev *synth.Event) error {
+	// The generation is read before the evaluation it describes: a model
+	// attached between Evaluate and the commit must leave this row looking
+	// stale, never current.
+	gen := p.Engine.ModelGeneration()
 	report, err := p.Engine.Evaluate(ev.ArticleHTML, ev.ArticleURL, nil)
 	if err != nil {
 		p.bumpStat(func(s *IngestStats) { s.ParseFailures++ })
 		return fmt.Errorf("posting %s: %w", ev.PostID, err)
 	}
-	return p.applyPosting(ev, report)
+	return p.applyPosting(ev, report, gen)
 }
 
 // isTopic reports whether the report carries the platform's supervised
@@ -422,8 +535,12 @@ func (p *Platform) isTopic(report *indicators.Report) bool {
 
 // applyPosting stores one posting given its evaluated report — the commit
 // stage shared by the synchronous IngestEvent path and the streaming
-// pipeline, so both produce bit-identical rows.
-func (p *Platform) applyPosting(ev *synth.Event, report *indicators.Report) error {
+// pipeline, so both produce bit-identical rows. gen is the model
+// generation the report was evaluated under (read by the caller before
+// evaluating): stamping the commit-time generation instead would let a
+// retrain that lands mid-flight mark a stale row as current, and the
+// incremental reindex would then never repair it.
+func (p *Platform) applyPosting(ev *synth.Event, report *indicators.Report, gen uint64) error {
 	outlet, err := p.Registry.ByID(ev.OutletID)
 	if err != nil {
 		// Fall back to domain resolution for outlets not carried in the
@@ -456,6 +573,7 @@ func (p *Platform) applyPosting(ev *synth.Event, report *indicators.Report) erro
 		rdbms.Bool(len(report.Context.References) > 0),
 		rdbms.Bool(isTopic),
 		rdbms.Float(report.Composite),
+		rdbms.Int(int64(gen)),
 	}
 	if err := p.articles.Upsert(row); err != nil {
 		return err
@@ -642,6 +760,20 @@ func (p *Platform) runIngestUntil(members int, idle time.Duration, stop func() b
 	}
 	p.Pipeline.Flush()
 	return int(p.ingestOutcomes() - before), firstErr
+}
+
+// deadLetterSeq parses the numeric sequence out of a dead-letter id
+// ("dl-000000000042" → 42).
+func deadLetterSeq(id string) (uint64, bool) {
+	const prefix = "dl-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // hostOf extracts the (lowercased) host name from an article URL for

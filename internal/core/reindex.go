@@ -28,6 +28,10 @@ type ReindexReport struct {
 	Changed int
 	// Failed counts documents that no longer parse (row left untouched).
 	Failed int
+	// Skipped counts article rows whose model-generation watermark already
+	// matched the engine's current models — they were not re-evaluated at
+	// all (the incremental path after partial or repeated runs).
+	Skipped int
 	// Replies is the number of stored replies re-classified by the stance
 	// model; StanceChanged counts those whose stance flipped.
 	Replies int
@@ -55,6 +59,7 @@ const (
 	colTitle        = 4
 	colClickbait    = 6
 	colComposite    = 16
+	colModelGen     = 17
 	socialSupport   = 5
 	socialDeny      = 6
 	socialComment   = 7
@@ -63,24 +68,47 @@ const (
 	replyStanceCol  = 3
 )
 
-// ReindexCorpus re-evaluates every stored article under the engine's
-// current models and rewrites the content/context/composite columns, then
+// ReindexOption customises a ReindexCorpus run.
+type ReindexOption func(*reindexCfg)
+
+type reindexCfg struct {
+	force bool
+}
+
+// ReindexForce disables the model-generation watermark: every stored row
+// is re-evaluated even if it is already current. Benchmarks and
+// consistency audits use it; normal operation relies on the incremental
+// default.
+func ReindexForce() ReindexOption { return func(c *reindexCfg) { c.force = true } }
+
+// ReindexCorpus re-evaluates stored articles under the engine's current
+// models and rewrites the content/context/composite columns, then
 // re-classifies the stored replies and reconciles the social stance
 // aggregates. A nil pool falls back to the platform's shared compute pool.
 //
-// Each row is rewritten with one atomic read-modify-write under the
-// table's write lock, so concurrent AssessID / GET /api/assess readers
+// The run is incremental by default: every articles row carries the model
+// generation it was last evaluated under, so rows already current —
+// ingested after the last retrain, or rewritten by an earlier partial run
+// — are skipped without streaming their documents at all (ReindexReport.
+// Skipped); ReindexForce re-evaluates everything.
+//
+// Each row is rewritten with one atomic read-modify-write under its
+// partition's write lock, so concurrent AssessID / GET /api/assess readers
 // observe either the fully-old or the fully-new row, never a mix; stance
 // aggregates are reconciled with per-article deltas rather than absolute
 // writes, so reactions ingested while the job runs are preserved.
-func (p *Platform) ReindexCorpus(pool *compute.Pool) (*ReindexReport, error) {
+func (p *Platform) ReindexCorpus(pool *compute.Pool, opts ...ReindexOption) (*ReindexReport, error) {
 	if pool == nil {
 		pool = p.Compute
+	}
+	var cfg reindexCfg
+	for _, o := range opts {
+		o(&cfg)
 	}
 	started := time.Now()
 	rep := &ReindexReport{}
 
-	if err := p.reindexArticles(pool, rep); err != nil {
+	if err := p.reindexArticles(pool, cfg, rep); err != nil {
 		return nil, err
 	}
 	if secs := time.Since(started).Seconds(); secs > 0 {
@@ -100,8 +128,14 @@ func (p *Platform) ReindexCorpus(pool *compute.Pool) (*ReindexReport, error) {
 const reindexChunkSize = 512
 
 // reindexArticles streams the retained documents through EvaluateBatch and
-// rewrites the derived indicator columns of each articles row.
-func (p *Platform) reindexArticles(pool *compute.Pool, rep *ReindexReport) error {
+// rewrites the derived indicator columns of each articles row. Rows whose
+// model-generation watermark already matches the engine's current models
+// are skipped before their documents are even fetched.
+func (p *Platform) reindexArticles(pool *compute.Pool, cfg reindexCfg, rep *ReindexReport) error {
+	// The generation is read once at run start and stamped on every row
+	// this run rewrites: a retrain landing mid-run leaves the rows stamped
+	// with the older generation, so the next run still sees them as stale.
+	gen := p.Engine.ModelGeneration()
 	// Snapshot only the ids (cheap); the document bodies are fetched per
 	// chunk so peak memory is bounded by reindexChunkSize documents.
 	var ids []string
@@ -109,6 +143,24 @@ func (p *Platform) reindexArticles(pool *compute.Pool, rep *ReindexReport) error
 		ids = append(ids, r[0].Str())
 		return true
 	})
+	if !cfg.force {
+		current := make([]string, 0, len(ids))
+		for _, id := range ids {
+			stale := true
+			err := p.articles.View(rdbms.String(id), func(r rdbms.Row) {
+				stale = uint64(r[colModelGen].Int()) != gen
+			})
+			if err != nil {
+				continue // doc without an articles row: nothing to rewrite
+			}
+			if stale {
+				current = append(current, id)
+			} else {
+				rep.Skipped++
+			}
+		}
+		ids = current
+	}
 	for start := 0; start < len(ids); start += reindexChunkSize {
 		end := min(start+reindexChunkSize, len(ids))
 		docs := make([]indicators.BatchDoc, 0, end-start)
@@ -119,7 +171,7 @@ func (p *Platform) reindexArticles(pool *compute.Pool, rep *ReindexReport) error
 			}
 			docs = append(docs, indicators.BatchDoc{ID: id, URL: row[1].Str(), HTML: row[2].Str()})
 		}
-		if err := p.reindexArticleChunk(pool, docs, rep); err != nil {
+		if err := p.reindexArticleChunk(pool, gen, docs, rep); err != nil {
 			return err
 		}
 	}
@@ -127,7 +179,7 @@ func (p *Platform) reindexArticles(pool *compute.Pool, rep *ReindexReport) error
 }
 
 // reindexArticleChunk evaluates one bounded chunk and rewrites its rows.
-func (p *Platform) reindexArticleChunk(pool *compute.Pool, docs []indicators.BatchDoc, rep *ReindexReport) error {
+func (p *Platform) reindexArticleChunk(pool *compute.Pool, gen uint64, docs []indicators.BatchDoc, rep *ReindexReport) error {
 	results, err := p.Engine.EvaluateBatch(pool, docs)
 	if err != nil {
 		return err
@@ -163,22 +215,30 @@ func (p *Platform) reindexArticleChunk(pool *compute.Pool, docs []indicators.Bat
 			{colClickbait + 9, rdbms.Bool(isTopic)},
 			{colComposite, rdbms.Float(report.Composite)},
 		}
+		indicatorsChanged := false
 		err := p.articles.Mutate(rdbms.String(res.ID), func(old rdbms.Row) (rdbms.Row, error) {
-			changed := false
+			indicatorsChanged = false
 			for _, u := range updates {
 				if !old[u.idx].Equal(u.val) {
 					old[u.idx] = u.val
-					changed = true
+					indicatorsChanged = true
 				}
 			}
-			if !changed {
+			// Stamp the watermark even when the indicator values came out
+			// identical: the row is now known-current under these models,
+			// so the next incremental run skips it without evaluating.
+			genVal := rdbms.Int(int64(gen))
+			if !indicatorsChanged && old[colModelGen].Equal(genVal) {
 				return nil, errRowUnchanged
 			}
+			old[colModelGen] = genVal
 			return old, nil
 		})
 		switch {
 		case err == nil:
-			rep.Changed++
+			if indicatorsChanged {
+				rep.Changed++
+			}
 		case errors.Is(err, errRowUnchanged):
 			// Identity rewrite: skipped, the row is already model-current.
 		case errors.Is(err, rdbms.ErrNotFound):

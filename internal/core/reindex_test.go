@@ -322,14 +322,24 @@ func TestReindexSkipsDeletedArticles(t *testing.T) {
 	if err := p.articles.Delete(rdbms.String(victim)); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := p.ReindexCorpus(pool)
+	// Forced run: the document store still has the row, so it is evaluated
+	// but the article rewrite is a no-op.
+	rep, err := p.ReindexCorpus(pool, ReindexForce())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The document store still has the row, so it is evaluated but the
-	// article rewrite is a no-op.
 	if rep.Articles != len(w.Articles) {
 		t.Errorf("articles: %d", rep.Articles)
+	}
+	// Incremental run: the orphan document has no articles row to compare a
+	// watermark against, so it is not even streamed; every other row was
+	// just stamped current by the forced run.
+	rep2, err := p.ReindexCorpus(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Articles != 0 || rep2.Skipped != len(w.Articles)-1 {
+		t.Errorf("incremental after force: articles=%d skipped=%d", rep2.Articles, rep2.Skipped)
 	}
 }
 

@@ -67,6 +67,9 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 		}
 	}
 	reports := make(map[int]*indicators.Report, len(docs))
+	// Read the generation before the batch evaluation it will describe
+	// (see applyPosting).
+	gen := p.Engine.ModelGeneration()
 	if len(docs) > 0 {
 		brs, err := p.Engine.EvaluateBatch(p.Compute, docs)
 		if err != nil {
@@ -99,7 +102,7 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 			continue
 		}
 		ev := &events[i]
-		if err := p.applyPosting(ev, reports[i]); err != nil {
+		if err := p.applyPosting(ev, reports[i], gen); err != nil {
 			outcome := stream.OutcomeRetry
 			if errors.Is(err, outlets.ErrNotFound) {
 				outcome = stream.OutcomeDead // no registry entry will appear on retry
@@ -275,6 +278,57 @@ func (p *Platform) writeDeadLetter(env stream.Envelope, cause error) {
 		rdbms.Int(int64(env.Attempt)),
 		rdbms.Time(p.Clock()),
 	})
+	p.enforceDeadLetterBounds()
+}
+
+// enforceDeadLetterBounds applies the dead-letter retention policy in the
+// pipeline's commit path: rows older than the age bound go first, then the
+// oldest rows beyond the size bound. Ids are a monotonic sequence, so the
+// oldest live row is found by advancing a cursor from the smallest known
+// seq — amortised O(1) per dead letter ever written, never a table scan.
+// Sweeps serialise on dlMu (which also guards the cursor); gaps left by
+// ReplayDeadLetters' deletes are skipped as the cursor walks over them.
+func (p *Platform) enforceDeadLetterBounds() {
+	maxCount, maxAge := p.dlMaxCount, p.dlMaxAge
+	if maxCount <= 0 && maxAge <= 0 {
+		return
+	}
+	if maxAge <= 0 && p.dead.Len() <= maxCount {
+		return // cheap pre-check: size bound not hit, no age bound
+	}
+	p.dlMu.Lock()
+	defer p.dlMu.Unlock()
+	newest := p.dlSeq.Load()
+	if maxAge > 0 {
+		cutoff := p.Clock().Add(-maxAge)
+		for p.dlOldest <= newest {
+			id := rdbms.String(fmt.Sprintf("dl-%012d", p.dlOldest))
+			expired := false
+			err := p.dead.View(id, func(r rdbms.Row) {
+				expired = r[5].Time().Before(cutoff)
+			})
+			if err != nil { // gap: replayed or already evicted
+				p.dlOldest++
+				continue
+			}
+			if !expired {
+				break // rows only get newer from here
+			}
+			if p.dead.Delete(id) == nil {
+				p.dlEvicted.Add(1)
+			}
+			p.dlOldest++
+		}
+	}
+	if maxCount > 0 {
+		for p.dead.Len() > maxCount && p.dlOldest <= newest {
+			id := rdbms.String(fmt.Sprintf("dl-%012d", p.dlOldest))
+			if p.dead.Delete(id) == nil {
+				p.dlEvicted.Add(1)
+			}
+			p.dlOldest++
+		}
+	}
 }
 
 // DeadLetter is one inspectable dead_letters row.
@@ -360,8 +414,11 @@ type StreamStats struct {
 	// Malformed counts payloads that failed to decode (a subset of
 	// DeadLettered).
 	Malformed uint64 `json:"malformed"`
-	// DeadLetterBacklog is the current dead_letters table size.
-	DeadLetterBacklog int `json:"dead_letter_backlog"`
+	// DeadLetterBacklog is the current dead_letters table size;
+	// DeadLetterEvicted counts rows removed by the retention policy
+	// (age/size bounds, oldest first).
+	DeadLetterBacklog int    `json:"dead_letter_backlog"`
+	DeadLetterEvicted uint64 `json:"dead_letter_evicted"`
 	// Live-feed counters.
 	Subscribers   uint64 `json:"subscribers"`
 	FeedPublished uint64 `json:"feed_published"`
@@ -389,18 +446,42 @@ func (p *Platform) StreamStats() StreamStats {
 		QueueDepths:       ps.QueueDepths,
 		Malformed:         p.malformed.Load(),
 		DeadLetterBacklog: p.dead.Len(),
+		DeadLetterEvicted: p.dlEvicted.Load(),
 		Subscribers:       uint64(bs.Subscribers),
 		FeedPublished:     bs.Published,
 		FeedDropped:       bs.Dropped,
 	}
 }
 
+// Checkpoint persists the store online: WAL rotation, snapshot, segment
+// prune — callable under concurrent assess/ingest/reindex traffic (each
+// table is serialised under its own read barrier while the rest keep
+// serving). In-memory platforms (no Config.DataDir) return rdbms.ErrNoDir.
+func (p *Platform) Checkpoint() (rdbms.CheckpointStats, error) {
+	return p.DB.Checkpoint()
+}
+
+// StorageStats reports the store's partition layout, WAL volume and
+// checkpoint/recovery history.
+func (p *Platform) StorageStats() rdbms.StorageStats {
+	return p.DB.StorageStats()
+}
+
 // Close drains the platform gracefully: the ingestion pipeline processes
 // everything accepted so far (including pending retries), the live feed
 // closes its subscribers, and the broker wakes any blocked producers and
-// consumers. Safe to call more than once.
-func (p *Platform) Close() {
+// consumers. Durable platforms then write a final checkpoint and release
+// the store. Safe to call more than once.
+func (p *Platform) Close() error {
 	p.Pipeline.Close()
 	p.Bus.Close()
 	p.Broker.Close()
+	if p.dataDir == "" || !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if _, err := p.DB.Checkpoint(); err != nil {
+		_ = p.DB.Close()
+		return fmt.Errorf("core: checkpoint on close: %w", err)
+	}
+	return p.DB.Close()
 }

@@ -16,6 +16,7 @@ package indicators
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/compute"
@@ -66,6 +67,12 @@ type Engine struct {
 
 	pool  *compute.Pool // nil = sequential family evaluation
 	cache *reportCache  // nil = caching disabled
+
+	// modelGen counts model attachments: it advances every time a trained
+	// model is swapped in, so stored rows stamped with the generation they
+	// were evaluated under can be recognised as current or stale (the
+	// incremental-reindex watermark).
+	modelGen atomic.Uint64
 }
 
 // Config configures NewEngine.
@@ -272,8 +279,33 @@ func (e *Engine) CacheLen() int {
 	return e.cache.len()
 }
 
-// flushCache clears the cache (models changed).
+// ModelGeneration returns the engine's current model generation. It starts
+// at 1 and advances on every model attachment (SetClickbaitModel,
+// SetStanceModel); a row evaluated under generation G is up to date exactly
+// while ModelGeneration() == G.
+func (e *Engine) ModelGeneration() uint64 { return e.modelGen.Load() + 1 }
+
+// EnsureModelGenerationAbove raises the generation counter until
+// ModelGeneration() > g. Recovery calls it with the highest generation
+// stamped on recovered rows: a fresh process's counter restarts at 1, so
+// without the bump a stored generation from the previous life could
+// collide with a new one and make stale rows look current.
+func (e *Engine) EnsureModelGenerationAbove(g uint64) {
+	for {
+		cur := e.modelGen.Load()
+		if cur+1 > g {
+			return
+		}
+		if e.modelGen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// flushCache clears the cache and advances the model generation (models
+// changed: cached and stored evaluations are stale).
 func (e *Engine) flushCache() {
+	e.modelGen.Add(1)
 	if e.cache != nil {
 		e.cache.flush()
 	}

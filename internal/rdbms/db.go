@@ -2,43 +2,87 @@ package rdbms
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 )
 
-// DB is a named collection of tables plus an optional write-ahead log.
-type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	wal    *WAL
+// Options configures a database.
+type Options struct {
+	// Partitions is the lock-stripe count for newly created tables
+	// (default DefaultPartitions; 1 degenerates to the historic
+	// single-lock table).
+	Partitions int
+	// WAL, when set, receives every table mutation and DDL statement.
+	WAL *WAL
 }
 
-// NewDB creates an empty database without a WAL.
-func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+// DB is a named collection of partitioned tables plus an optional
+// write-ahead log and, when opened with Open, a durable home directory
+// with a checkpoint cycle (see durable.go).
+type DB struct {
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	wal        *WAL
+	partitions int
+
+	// Durable state (zero when the DB is purely in-memory).
+	dir     string
+	lock    *os.File // flock on <dir>/LOCK, held for the DB's lifetime
+	walSeq  int
+	ckptMu  sync.Mutex // serialises checkpoints
+	statsMu sync.Mutex
+	stats   durableStats
+}
+
+// NewDB creates an empty in-memory database without a WAL.
+func NewDB() *DB { return NewDBWithOptions(Options{}) }
+
+// NewDBWithOptions creates an empty database with the given options.
+func NewDBWithOptions(o Options) *DB {
+	if o.Partitions <= 0 {
+		o.Partitions = DefaultPartitions
+	}
+	return &DB{
+		tables:     make(map[string]*Table),
+		wal:        o.WAL,
+		partitions: o.Partitions,
+	}
+}
 
 // NewDBWithWAL creates a database whose mutations are appended to wal.
-func NewDBWithWAL(wal *WAL) *DB {
-	db := NewDB()
-	db.wal = wal
-	return db
+func NewDBWithWAL(wal *WAL) *DB { return NewDBWithOptions(Options{WAL: wal}) }
+
+// CreateTable adds a table with the given schema and the database's
+// default partition count.
+func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	return db.CreateTablePartitioned(name, schema, db.partitions)
 }
 
-// CreateTable adds a table with the given schema.
-func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+// CreateTablePartitioned adds a table with an explicit lock-stripe count
+// (<= 0 means the database default).
+func (db *DB) CreateTablePartitioned(name string, schema *Schema, parts int) (*Table, error) {
 	if name == "" {
 		return nil, fmt.Errorf("empty table name: %w", ErrSchema)
+	}
+	if parts <= 0 {
+		parts = db.partitions
+	}
+	if parts > MaxPartitions {
+		parts = MaxPartitions // keep the logged DDL within recovery's bounds
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("table %q: %w", name, ErrExists)
 	}
-	t := &Table{
-		name:    name,
-		schema:  schema,
-		pkIdx:   newHashIdx(),
-		indexes: make(map[string]index),
-		wal:     db.wal,
+	// Write-ahead: the DDL record must land before the table exists.
+	if db.wal != nil {
+		if err := db.wal.append(walRecord{Op: walCreateTable, Table: name, Cols: schema.Cols, PKName: schema.Cols[schema.PK].Name, Parts: parts}); err != nil {
+			return nil, err
+		}
 	}
+	t := newTable(name, schema, parts, db.wal)
 	db.tables[name] = t
 	return t, nil
 }
@@ -74,6 +118,34 @@ func (db *DB) TableNames() []string {
 		out = append(out, n)
 	}
 	return out
+}
+
+// tablesSorted returns the tables in name order (deterministic snapshots).
+func (db *DB) tablesSorted() []*Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Table, 0, len(names))
+	for _, n := range names {
+		out = append(out, db.tables[n])
+	}
+	return out
+}
+
+// attachWAL wires the WAL into the database and every existing table —
+// used by Open after recovery replay, so the replay itself is not
+// re-logged.
+func (db *DB) attachWAL(wal *WAL) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.wal = wal
+	for _, t := range db.tables {
+		t.wal = wal
+	}
 }
 
 // Begin starts a transaction. SciLens transactions are latch-based:

@@ -1,0 +1,470 @@
+package rdbms
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Durable lifecycle: a database opened with Open lives in a directory —
+// one snapshot file plus a sequence of WAL segments:
+//
+//	<dir>/snapshot.db     last checkpoint (atomic rename)
+//	<dir>/wal-000042.log  mutations since (and during) that checkpoint
+//
+// Open recovers snapshot-then-replay; Checkpoint rotates the WAL, writes a
+// fresh snapshot and prunes the old segments. Replay is tolerant: a torn
+// final record (the crash window of the per-record flush) truncates the
+// segment at the last good boundary instead of aborting recovery.
+
+// ErrNoDir is returned by durable operations on an in-memory database.
+var ErrNoDir = errors.New("rdbms: database has no data directory")
+
+// ErrLocked is returned when another live process holds the data
+// directory: two writers appending to the same WAL segment would
+// interleave record bytes and corrupt the log.
+var ErrLocked = errors.New("rdbms: data directory locked by another process")
+
+// snapshotFile is the checkpoint file name inside a data directory.
+const snapshotFile = "snapshot.db"
+
+// lockFile is the advisory flock target inside a data directory. The OS
+// releases the lock when the holding process dies, so a crash never
+// strands the directory.
+const lockFile = "LOCK"
+
+// durableStats is the checkpoint/recovery bookkeeping behind StorageStats.
+type durableStats struct {
+	checkpoints        int
+	lastCheckpoint     time.Time
+	snapshotBytes      int64
+	recoveredRecords   int
+	recoveredTruncated bool
+}
+
+// StorageStats is an observable snapshot of the storage engine: partition
+// layout, WAL volume and checkpoint/recovery history.
+type StorageStats struct {
+	// Dir is the data directory ("" for in-memory databases).
+	Dir string `json:"dir,omitempty"`
+	// Durable reports whether the database has a data directory.
+	Durable bool `json:"durable"`
+	// Tables and Rows size the store.
+	Tables int `json:"tables"`
+	Rows   int `json:"rows"`
+	// TablePartitions maps table name to its lock-stripe count.
+	TablePartitions map[string]int `json:"table_partitions"`
+	// WALRecords / WALBytes count appends since the database was opened
+	// (across segment rotations).
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// WALSegment is the current segment sequence number.
+	WALSegment int `json:"wal_segment"`
+	// Checkpoints counts completed checkpoints since open; LastCheckpoint
+	// and SnapshotBytes describe the most recent one.
+	Checkpoints    int       `json:"checkpoints"`
+	LastCheckpoint time.Time `json:"last_checkpoint"`
+	SnapshotBytes  int64     `json:"snapshot_bytes"`
+	// RecoveredRecords is the number of WAL records replayed by Open;
+	// RecoveredTruncated reports whether recovery had to truncate a torn
+	// or corrupt log tail.
+	RecoveredRecords   int  `json:"recovered_records"`
+	RecoveredTruncated bool `json:"recovered_truncated"`
+}
+
+// CheckpointStats reports one completed checkpoint.
+type CheckpointStats struct {
+	// Duration is the wall-clock time of the checkpoint.
+	Duration time.Duration
+	// SnapshotBytes is the size of the written snapshot.
+	SnapshotBytes int64
+	// Tables and Rows count what the snapshot contains.
+	Tables int
+	Rows   int
+	// SegmentsPruned is the number of WAL segments deleted.
+	SegmentsPruned int
+	// WALSegment is the segment now receiving appends.
+	WALSegment int
+}
+
+// Open opens (or creates) a durable database in dir, recovering state from
+// the last snapshot plus WAL replay.
+func Open(dir string) (*DB, error) { return OpenWithOptions(dir, Options{}) }
+
+// OpenWithOptions is Open with explicit database options. The partition
+// option applies to tables created after the open; recovered tables keep
+// the partition count recorded in the snapshot/WAL.
+func OpenWithOptions(dir string, o Options) (*DB, error) {
+	if dir == "" {
+		return nil, ErrNoDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	var db *DB
+	fail := func(err error) (*DB, error) {
+		lock.Close()
+		return nil, err
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		db, err = Restore(f)
+		f.Close()
+		if err != nil {
+			return fail(fmt.Errorf("restore %s: %w", snapPath, err))
+		}
+	} else if !os.IsNotExist(err) {
+		return fail(err)
+	}
+	if db == nil {
+		db = NewDBWithOptions(Options{Partitions: o.Partitions})
+	} else if o.Partitions > 0 {
+		db.partitions = o.Partitions
+	}
+
+	segs, err := walSegments(dir)
+	if err != nil {
+		return fail(err)
+	}
+	recovered, truncated := 0, false
+	for i, seg := range segs {
+		n, trunc, err := replaySegment(db, seg)
+		recovered += n
+		if err != nil {
+			return fail(fmt.Errorf("replay %s: %w", seg, err))
+		}
+		if trunc {
+			truncated = true
+			// Records in later segments follow a gap; applying them would
+			// fabricate a state no run ever produced. Drop them.
+			for _, later := range segs[i+1:] {
+				_ = os.Remove(later)
+			}
+			segs = segs[:i+1]
+			break
+		}
+	}
+
+	var f *os.File
+	seq := 1
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		seq = segSeq(last)
+		f, err = os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	} else {
+		f, err = os.OpenFile(filepath.Join(dir, segName(1)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	db.attachWAL(NewWALFile(f))
+	db.dir = dir
+	db.lock = lock
+	db.walSeq = seq
+	db.stats.recoveredRecords = recovered
+	db.stats.recoveredTruncated = truncated
+	return db, nil
+}
+
+// acquireDirLock takes the directory's advisory lock, refusing to share a
+// data directory between live processes.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return f, nil
+}
+
+// Checkpoint rotates the WAL onto a fresh segment, writes a snapshot of
+// every table (each under its own whole-table read barrier, so the rest of
+// the store keeps serving), atomically installs it and prunes the old
+// segments. Safe to call online under concurrent readers and writers;
+// concurrent checkpoints serialise.
+func (db *DB) Checkpoint() (CheckpointStats, error) {
+	if db.dir == "" {
+		return CheckpointStats{}, ErrNoDir
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	start := time.Now()
+
+	// 1. Rotate: every append from here lands in the new segment, so any
+	// record possibly missing from the snapshot below survives the prune.
+	newSeq := db.currentSeq() + 1
+	segPath := filepath.Join(db.dir, segName(newSeq))
+	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	old, err := db.wal.rotate(f)
+	if err != nil {
+		f.Close()
+		_ = os.Remove(segPath)
+		return CheckpointStats{}, err
+	}
+	if old != nil {
+		_ = old.Close()
+	}
+	db.setSeq(newSeq)
+
+	// 2. Snapshot to a temp file, fsync, then 3. atomically install it.
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	sf, err := os.Create(tmp)
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := db.Snapshot(sf); err != nil {
+		sf.Close()
+		_ = os.Remove(tmp)
+		return CheckpointStats{}, err
+	}
+	if err := sf.Sync(); err != nil {
+		sf.Close()
+		_ = os.Remove(tmp)
+		return CheckpointStats{}, err
+	}
+	info, _ := sf.Stat()
+	if err := sf.Close(); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return CheckpointStats{}, err
+	}
+	syncDir(db.dir)
+
+	// 4. Prune: segments before the rotation are fully contained in the
+	// installed snapshot.
+	pruned := 0
+	if segs, err := walSegments(db.dir); err == nil {
+		for _, seg := range segs {
+			if segSeq(seg) < newSeq {
+				if os.Remove(seg) == nil {
+					pruned++
+				}
+			}
+		}
+	}
+
+	st := CheckpointStats{
+		Duration:       time.Since(start),
+		SegmentsPruned: pruned,
+		WALSegment:     newSeq,
+	}
+	if info != nil {
+		st.SnapshotBytes = info.Size()
+	}
+	for _, t := range db.tablesSorted() {
+		st.Tables++
+		st.Rows += t.Len()
+	}
+	db.statsMu.Lock()
+	db.stats.checkpoints++
+	db.stats.lastCheckpoint = time.Now()
+	db.stats.snapshotBytes = st.SnapshotBytes
+	db.statsMu.Unlock()
+	return st, nil
+}
+
+// Close flushes and fsyncs the WAL, releases the segment file and the
+// data-directory lock. It does not checkpoint — callers wanting a
+// compacted shutdown call Checkpoint first. Safe on in-memory databases
+// (no-op).
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.closeFile()
+	if db.lock != nil {
+		if cerr := db.lock.Close(); err == nil {
+			err = cerr
+		}
+		db.lock = nil
+	}
+	return err
+}
+
+// closeFile flushes, fsyncs and closes the underlying segment file. A
+// broken WAL skips the flush (its tail is already torn) and just releases
+// the file.
+func (l *WAL) closeFile() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if !l.broken {
+		err = l.w.Flush()
+	}
+	if l.f != nil {
+		if serr := l.f.Sync(); err == nil && !l.broken {
+			err = serr
+		}
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
+}
+
+// Abandon simulates a process crash for tests and crash drills: it drops
+// the WAL file handle and the data-directory lock WITHOUT flushing or
+// syncing, exactly as the kernel would when the process dies. The DB
+// value must not be used afterwards; a subsequent Open(dir) recovers from
+// whatever reached the OS.
+func (db *DB) Abandon() {
+	if db.wal != nil {
+		db.wal.mu.Lock()
+		if db.wal.f != nil {
+			_ = db.wal.f.Close()
+			db.wal.f = nil
+		}
+		db.wal.broken = true // refuse any straggler appends
+		db.wal.mu.Unlock()
+	}
+	if db.lock != nil {
+		_ = db.lock.Close()
+		db.lock = nil
+	}
+}
+
+// StorageStats reports the storage engine's observable state.
+func (db *DB) StorageStats() StorageStats {
+	st := StorageStats{
+		Dir:             db.dir,
+		Durable:         db.dir != "",
+		TablePartitions: map[string]int{},
+	}
+	for _, t := range db.tablesSorted() {
+		st.Tables++
+		st.Rows += t.Len()
+		st.TablePartitions[t.Name()] = t.Partitions()
+	}
+	if db.wal != nil {
+		st.WALRecords = db.wal.Records()
+		st.WALBytes = db.wal.Bytes()
+	}
+	db.statsMu.Lock()
+	st.WALSegment = db.walSeq
+	st.Checkpoints = db.stats.checkpoints
+	st.LastCheckpoint = db.stats.lastCheckpoint
+	st.SnapshotBytes = db.stats.snapshotBytes
+	st.RecoveredRecords = db.stats.recoveredRecords
+	st.RecoveredTruncated = db.stats.recoveredTruncated
+	db.statsMu.Unlock()
+	return st
+}
+
+func (db *DB) currentSeq() int {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.walSeq
+}
+
+func (db *DB) setSeq(seq int) {
+	db.statsMu.Lock()
+	db.walSeq = seq
+	db.statsMu.Unlock()
+}
+
+// segName formats a WAL segment file name; zero-padded so lexicographic
+// order is replay order.
+func segName(seq int) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// segSeq parses a segment sequence number from its path (0 if malformed).
+func segSeq(path string) int {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, "wal-")
+	base = strings.TrimSuffix(base, ".log")
+	n, err := strconv.Atoi(base)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// walSegments lists the directory's WAL segments in replay order.
+func walSegments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(matches, func(i, j int) bool { return segSeq(matches[i]) < segSeq(matches[j]) })
+	return matches, nil
+}
+
+// replaySegment replays one WAL segment onto db with recovery (loose)
+// semantics. A record that fails to decode — a torn tail from a crash
+// mid-append, or corruption — truncates the file at the last good record
+// boundary and reports trunc=true; it never aborts recovery. Errors
+// applying a well-formed record (schema drift, disk errors) do abort.
+func replaySegment(db *DB, path string) (applied int, trunc bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	cr := &countingReader{r: f}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	var good int64
+	for {
+		rec, rerr := readRecord(br)
+		if rerr == io.EOF {
+			f.Close()
+			return applied, false, nil
+		}
+		if rerr != nil {
+			// Torn or corrupt record: cut the log at the last good
+			// boundary so the next open sees a clean tail.
+			f.Close()
+			if terr := os.Truncate(path, good); terr != nil {
+				return applied, true, terr
+			}
+			return applied, true, nil
+		}
+		if aerr := applyRecord(db, rec, true); aerr != nil {
+			f.Close()
+			return applied, false, aerr
+		}
+		applied++
+		good = cr.n - int64(br.Buffered())
+	}
+}
+
+// countingReader tracks the bytes handed to the buffered decoder, so the
+// last good record boundary can be computed as read - buffered.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -37,8 +37,11 @@ func newHashIdx() *hashIdx { return &hashIdx{m: make(map[string]map[int]struct{}
 
 func (h *hashIdx) kind() IndexKind { return HashIndex }
 
-func (h *hashIdx) insert(v Value, rowID int) {
-	k := v.hashKey()
+func (h *hashIdx) insert(v Value, rowID int) { h.insertKey(v.hashKey(), rowID) }
+
+// insertKey is insert with the hash key precomputed — the primary-key
+// path, where the partition router already paid for the key.
+func (h *hashIdx) insertKey(k string, rowID int) {
 	set, ok := h.m[k]
 	if !ok {
 		set = make(map[int]struct{})
@@ -47,8 +50,9 @@ func (h *hashIdx) insert(v Value, rowID int) {
 	set[rowID] = struct{}{}
 }
 
-func (h *hashIdx) remove(v Value, rowID int) {
-	k := v.hashKey()
+func (h *hashIdx) remove(v Value, rowID int) { h.removeKey(v.hashKey(), rowID) }
+
+func (h *hashIdx) removeKey(k string, rowID int) {
 	if set, ok := h.m[k]; ok {
 		delete(set, rowID)
 		if len(set) == 0 {
@@ -69,7 +73,12 @@ func (h *hashIdx) lookup(v Value) []int {
 // lookupOne returns one matching row id without allocating the id slice —
 // the primary-key fast path, where at most one row matches.
 func (h *hashIdx) lookupOne(v Value) (int, bool) {
-	for id := range h.m[v.hashKey()] {
+	return h.lookupOneKey(v.hashKey())
+}
+
+// lookupOneKey is lookupOne with the hash key precomputed.
+func (h *hashIdx) lookupOneKey(k string) (int, bool) {
+	for id := range h.m[k] {
 		return id, true
 	}
 	return 0, false
@@ -209,6 +218,21 @@ func (s *skipIdx) lookup(v Value) []int {
 		}
 	}
 	return out
+}
+
+// seek returns the first node whose value is >= lo (every node when lo is
+// nil) — the cursor entry point for merged multi-partition range scans.
+// Callers walk forward via next[0].
+func (s *skipIdx) seek(lo *Value) *skipNode {
+	x := s.head
+	if lo != nil {
+		for i := s.level - 1; i >= 0; i-- {
+			for x.next[i] != nil && less(x.next[i].val, -1<<62, *lo, -1<<62) {
+				x = x.next[i]
+			}
+		}
+	}
+	return x.next[0]
 }
 
 func (s *skipIdx) scanRange(lo, hi *Value, fn func(Value, int) bool) error {

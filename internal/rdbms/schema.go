@@ -76,7 +76,14 @@ func (s *Schema) ColIndex(name string) (int, error) {
 	return i, nil
 }
 
-// Validate checks a row against the schema (arity, types, NOT NULL).
+// MaxStringBytes bounds string cell sizes. It matches the WAL/snapshot
+// decoder's corruption guard: a string the writer accepts must always be
+// one the recovery reader accepts, or a legitimate oversized write would
+// read back as log corruption and truncate the tail.
+const MaxStringBytes = 1 << 24
+
+// Validate checks a row against the schema (arity, types, NOT NULL,
+// string size bound).
 func (s *Schema) Validate(r Row) error {
 	if len(r) != len(s.Cols) {
 		return fmt.Errorf("row arity %d != %d: %w", len(r), len(s.Cols), ErrSchema)
@@ -92,6 +99,9 @@ func (s *Schema) Validate(r Row) error {
 		if v.Kind() != col.Type {
 			return fmt.Errorf("column %q wants %v got %v: %w",
 				col.Name, col.Type, v.Kind(), ErrTypeMismatch)
+		}
+		if col.Type == TString && len(v.Str()) > MaxStringBytes {
+			return fmt.Errorf("column %q exceeds %d bytes: %w", col.Name, MaxStringBytes, ErrSchema)
 		}
 	}
 	return nil

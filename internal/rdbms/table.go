@@ -1,25 +1,75 @@
 package rdbms
 
 import (
+	"bufio"
 	"fmt"
 	"sync"
 )
 
-// Table is a heap-organised table with a primary-key hash index and
-// optional secondary indexes. All methods are safe for concurrent use.
+// DefaultPartitions is the partition count tables are created with when the
+// database options do not say otherwise. Power of two so the pk-hash modulo
+// is cheap, and wide enough that the platform's stream shards stop
+// serialising on one table lock.
+const DefaultPartitions = 8
+
+// MaxPartitions caps a table's stripe count. It matches the WAL/snapshot
+// decoder's corruption guard, so a partition count the writer accepts is
+// always one recovery accepts.
+const MaxPartitions = 1 << 16
+
+// Table is a heap-organised table sharded into P lock-striped partitions by
+// primary-key hash. Every partition owns its own heap, primary-key index
+// and secondary-index shards, so point reads and writes on different keys
+// proceed in parallel; range scans merge the per-partition ordered indexes
+// back into one ascending stream. All methods are safe for concurrent use.
 type Table struct {
 	name   string
 	schema *Schema
+	wal    *WAL // optional; set by DB
 
+	parts []*partition
+
+	// idxMu guards the table-level index metadata; the per-partition index
+	// structures themselves are guarded by their partition's lock.
+	idxMu   sync.RWMutex
+	idxMeta map[string]IndexKind
+	idxSeed int64
+}
+
+// partition is one lock stripe: a heap slice plus the index shards for the
+// rows that hash here.
+type partition struct {
 	mu      sync.RWMutex
 	heap    []Row // slot id -> row; nil = deleted slot
 	free    []int // recycled slots
 	pkIdx   *hashIdx
-	indexes map[string]index // column name -> secondary index
+	indexes map[string]index // column name -> secondary index shard
 	rows    int
+}
 
-	wal     *WAL // optional; set by DB
-	idxSeed int64
+// newTable builds a table with the given partition count (<= 0 means
+// DefaultPartitions; capped at MaxPartitions).
+func newTable(name string, schema *Schema, parts int, wal *WAL) *Table {
+	if parts <= 0 {
+		parts = DefaultPartitions
+	}
+	if parts > MaxPartitions {
+		parts = MaxPartitions
+	}
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		wal:     wal,
+		parts:   make([]*partition, parts),
+		idxMeta: make(map[string]IndexKind),
+	}
+	for i := range t.parts {
+		t.parts[i] = &partition{
+			pkIdx:   newHashIdx(),
+			indexes: make(map[string]index),
+		}
+	}
+	return t
 }
 
 // Name returns the table name.
@@ -28,175 +78,291 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
+// Partitions returns the table's lock-stripe count.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// fnvOf is an allocation-free FNV-1a over the value's hash key — the
+// partition router.
+func fnvOf(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
-// CreateIndex adds a secondary index on the named column. Indexing an
-// already-indexed column returns ErrExists. Existing rows are indexed
-// immediately.
+// partFor routes a primary-key value to its partition index.
+func (t *Table) partFor(pk Value) int { return t.partForKey(pk.hashKey()) }
+
+// partForKey routes a precomputed primary-key hash key: the hot paths
+// compute the key once and reuse it for both routing and the pk index.
+func (t *Table) partForKey(k string) int {
+	if len(t.parts) == 1 {
+		return 0
+	}
+	return int(fnvOf(k) % uint32(len(t.parts)))
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	n := 0
+	for _, p := range t.parts {
+		p.mu.RLock()
+		n += p.rows
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// CreateIndex adds a secondary index on the named column, sharded across
+// the table's partitions. Indexing an already-indexed column returns
+// ErrExists. Existing rows are indexed immediately; the build takes a
+// whole-table barrier (all partition locks), so it is atomic with respect
+// to concurrent writers.
 func (t *Table) CreateIndex(col string, kind IndexKind) error {
 	ci, err := t.schema.ColIndex(col)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, dup := t.indexes[col]; dup {
-		return fmt.Errorf("index on %q: %w", col, ErrExists)
-	}
-	var idx index
-	switch kind {
-	case HashIndex:
-		idx = newHashIdx()
-	case OrderedIndex:
-		t.idxSeed++
-		idx = newSkipIdx(t.idxSeed)
-	default:
+	if kind != HashIndex && kind != OrderedIndex {
 		return fmt.Errorf("unknown index kind %d: %w", kind, ErrSchema)
 	}
-	for slot, row := range t.heap {
-		if row != nil {
-			idx.insert(row[ci], slot)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if _, dup := t.idxMeta[col]; dup {
+		return fmt.Errorf("index on %q: %w", col, ErrExists)
+	}
+	for _, p := range t.parts {
+		p.mu.Lock()
+	}
+	defer func() {
+		for _, p := range t.parts {
+			p.mu.Unlock()
+		}
+	}()
+	if t.wal != nil {
+		if err := t.wal.append(walRecord{Op: walCreateIndex, Table: t.name, Col: col, Kind: kind}); err != nil {
+			return err
 		}
 	}
-	t.indexes[col] = idx
+	for _, p := range t.parts {
+		var idx index
+		switch kind {
+		case HashIndex:
+			idx = newHashIdx()
+		case OrderedIndex:
+			t.idxSeed++
+			idx = newSkipIdx(t.idxSeed)
+		}
+		for slot, row := range p.heap {
+			if row != nil {
+				idx.insert(row[ci], slot)
+			}
+		}
+		p.indexes[col] = idx
+	}
+	t.idxMeta[col] = kind
 	return nil
 }
 
 // HasIndex reports whether the column has a secondary index.
 func (t *Table) HasIndex(col string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	_, ok := t.indexes[col]
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	_, ok := t.idxMeta[col]
 	return ok
 }
 
 // IndexKindOf reports the kind of the secondary index on col, and whether
 // one exists.
 func (t *Table) IndexKindOf(col string) (IndexKind, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[col]
-	if !ok {
-		return 0, false
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	kind, ok := t.idxMeta[col]
+	return kind, ok
+}
+
+// indexCols returns the indexed columns and kinds (for snapshots).
+func (t *Table) indexCols() map[string]IndexKind {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	out := make(map[string]IndexKind, len(t.idxMeta))
+	for c, k := range t.idxMeta {
+		out[c] = k
 	}
-	return idx.kind(), true
+	return out
 }
 
 // Insert adds a row; the primary key must be unique. It returns the heap
-// slot id.
+// slot id within the row's partition.
 func (t *Table) Insert(r Row) (int, error) {
 	if err := t.schema.Validate(r); err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.insertLocked(r, true)
+	k := r[t.schema.PK].hashKey()
+	p := t.parts[t.partForKey(k)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return t.insertLocked(p, k, r, true)
 }
 
-func (t *Table) insertLocked(r Row, logWAL bool) (int, error) {
+func (t *Table) insertLocked(p *partition, pkKey string, r Row, logWAL bool) (int, error) {
 	pk := r[t.schema.PK]
-	if ids := t.pkIdx.lookup(pk); len(ids) > 0 {
+	if _, dup := p.pkIdx.lookupOneKey(pkKey); dup {
 		return 0, fmt.Errorf("pk %v: %w", pk, ErrDuplicate)
 	}
 	r = r.Clone()
-	var slot int
-	if n := len(t.free); n > 0 {
-		slot = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.heap[slot] = r
-	} else {
-		slot = len(t.heap)
-		t.heap = append(t.heap, r)
+	// Write-ahead: the record must reach the log before the in-memory
+	// apply, so a failed append aborts the insert instead of acknowledging
+	// an unlogged row.
+	if logWAL && t.wal != nil {
+		if err := t.wal.append(walRecord{Op: walInsert, Table: t.name, Row: r}); err != nil {
+			return 0, err
+		}
 	}
-	t.pkIdx.insert(pk, slot)
-	for col, idx := range t.indexes {
+	var slot int
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.heap[slot] = r
+	} else {
+		slot = len(p.heap)
+		p.heap = append(p.heap, r)
+	}
+	p.pkIdx.insertKey(pkKey, slot)
+	for col, idx := range p.indexes {
 		ci, _ := t.schema.ColIndex(col)
 		idx.insert(r[ci], slot)
 	}
-	t.rows++
-	if logWAL && t.wal != nil {
-		t.wal.append(walRecord{Op: walInsert, Table: t.name, Row: r})
-	}
+	p.rows++
 	return slot, nil
 }
 
 // Get returns the row with the given primary key.
 func (t *Table) Get(pk Value) (Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	id, ok := t.pkIdx.lookupOne(pk)
+	k := pk.hashKey()
+	p := t.parts[t.partForKey(k)]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	id, ok := p.pkIdx.lookupOneKey(k)
 	if !ok {
 		return nil, fmt.Errorf("pk %v: %w", pk, ErrNotFound)
 	}
-	return t.heap[id].Clone(), nil
+	return p.heap[id].Clone(), nil
 }
 
 // View invokes fn with the row stored under the given primary key, under
-// the table's read lock and without cloning — the zero-allocation read
-// path for real-time request serving. fn must not retain or modify the
+// the row's partition read lock and without cloning — the zero-allocation
+// read path for real-time request serving. fn must not retain or modify the
 // row (or any value inside it) after returning.
 func (t *Table) View(pk Value, fn func(Row)) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	id, ok := t.pkIdx.lookupOne(pk)
+	k := pk.hashKey()
+	p := t.parts[t.partForKey(k)]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	id, ok := p.pkIdx.lookupOneKey(k)
 	if !ok {
 		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
 	}
-	fn(t.heap[id])
+	fn(p.heap[id])
 	return nil
 }
 
 // ViewEq invokes fn with each row whose indexed column equals v, under the
-// table's read lock and without cloning; fn returns false to stop early.
-// The column must have a secondary index. fn must not retain or modify
-// rows after returning.
+// owning partition's read lock and without cloning; fn returns false to
+// stop early. The column must have a hash index. fn must not retain or
+// modify rows after returning.
 func (t *Table) ViewEq(col string, v Value, fn func(Row) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[col]
+	kind, ok := t.IndexKindOf(col)
 	if !ok {
 		return fmt.Errorf("no index on %q: %w", col, ErrNotFound)
 	}
-	h, ok := idx.(*hashIdx)
-	if !ok {
+	if kind != HashIndex {
 		return fmt.Errorf("index on %q is not a hash index: %w", col, ErrTypeMismatch)
 	}
-	h.each(v, func(id int) bool { return fn(t.heap[id]) })
+	for _, p := range t.parts {
+		p.mu.RLock()
+		h, _ := p.indexes[col].(*hashIdx)
+		stopped := false
+		if h != nil {
+			h.each(v, func(id int) bool {
+				if !fn(p.heap[id]) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}
+		p.mu.RUnlock()
+		if stopped {
+			return nil
+		}
+	}
 	return nil
 }
 
 // Update replaces the row with the given primary key. The new row keeps
-// the same primary key value or moves to a new, unused one.
+// the same primary key value or moves to a new, unused one (possibly in a
+// different partition).
 func (t *Table) Update(pk Value, r Row) error {
 	if err := t.schema.Validate(r); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.updateLocked(pk, r, true)
+	k := pk.hashKey()
+	pi := t.partForKey(k)
+	pj := t.partFor(r[t.schema.PK])
+	if pi == pj {
+		p := t.parts[pi]
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return t.updateLocked(p, k, pk, r, true)
+	}
+	unlock := t.lockPair(pi, pj)
+	defer unlock()
+	return t.moveLocked(t.parts[pi], t.parts[pj], pk, r)
 }
 
-func (t *Table) updateLocked(pk Value, r Row, logWAL bool) error {
-	ids := t.pkIdx.lookup(pk)
-	if len(ids) == 0 {
+// lockPair write-locks two distinct partitions in index order (the global
+// lock order, so concurrent cross-partition moves cannot deadlock) and
+// returns the unlock function.
+func (t *Table) lockPair(pi, pj int) func() {
+	lo, hi := pi, pj
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	t.parts[lo].mu.Lock()
+	t.parts[hi].mu.Lock()
+	return func() {
+		t.parts[hi].mu.Unlock()
+		t.parts[lo].mu.Unlock()
+	}
+}
+
+// updateLocked replaces the row within one partition (old and new pk hash
+// to the same stripe). Caller holds p's write lock; pkKey is pk's
+// precomputed hash key.
+func (t *Table) updateLocked(p *partition, pkKey string, pk Value, r Row, logWAL bool) error {
+	slot, ok := p.pkIdx.lookupOneKey(pkKey)
+	if !ok {
 		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
 	}
-	slot := ids[0]
 	newPK := r[t.schema.PK]
 	if !newPK.Equal(pk) {
-		if dup := t.pkIdx.lookup(newPK); len(dup) > 0 {
+		if _, dup := p.pkIdx.lookupOne(newPK); dup {
 			return fmt.Errorf("pk %v: %w", newPK, ErrDuplicate)
 		}
 	}
-	old := t.heap[slot]
+	old := p.heap[slot]
 	r = r.Clone()
+	// Write-ahead: log before touching indexes or the heap.
+	if logWAL && t.wal != nil {
+		if err := t.wal.append(walRecord{Op: walUpdate, Table: t.name, Key: pk, Row: r}); err != nil {
+			return err
+		}
+	}
 	// Refresh secondary indexes for changed columns.
-	for col, idx := range t.indexes {
+	for col, idx := range p.indexes {
 		ci, _ := t.schema.ColIndex(col)
 		if !old[ci].Equal(r[ci]) {
 			idx.remove(old[ci], slot)
@@ -204,130 +370,326 @@ func (t *Table) updateLocked(pk Value, r Row, logWAL bool) error {
 		}
 	}
 	if !newPK.Equal(pk) {
-		t.pkIdx.remove(pk, slot)
-		t.pkIdx.insert(newPK, slot)
+		p.pkIdx.removeKey(pkKey, slot)
+		p.pkIdx.insert(newPK, slot)
 	}
-	t.heap[slot] = r
-	if logWAL && t.wal != nil {
-		t.wal.append(walRecord{Op: walUpdate, Table: t.name, Key: pk, Row: r})
+	p.heap[slot] = r
+	return nil
+}
+
+// moveLocked applies a pk-moving update whose new key hashes to a
+// different partition: delete from src, insert into dst, one WAL update
+// record. Caller holds both write locks.
+func (t *Table) moveLocked(src, dst *partition, pk Value, r Row) error {
+	slot, ok := src.pkIdx.lookupOne(pk)
+	if !ok {
+		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	newPK := r[t.schema.PK]
+	if _, dup := dst.pkIdx.lookupOne(newPK); dup {
+		return fmt.Errorf("pk %v: %w", newPK, ErrDuplicate)
+	}
+	// Write-ahead: log the move before mutating either stripe.
+	if t.wal != nil {
+		if err := t.wal.append(walRecord{Op: walUpdate, Table: t.name, Key: pk, Row: r}); err != nil {
+			return err
+		}
+	}
+	old := src.heap[slot]
+	src.pkIdx.remove(pk, slot)
+	for col, idx := range src.indexes {
+		ci, _ := t.schema.ColIndex(col)
+		idx.remove(old[ci], slot)
+	}
+	src.heap[slot] = nil
+	src.free = append(src.free, slot)
+	src.rows--
+	if _, err := t.insertLocked(dst, newPK.hashKey(), r, false); err != nil {
+		// Unreachable (dup checked above, no WAL append on this path);
+		// restore src to stay consistent.
+		src.heap[slot] = old
+		src.free = src.free[:len(src.free)-1]
+		src.rows++
+		src.pkIdx.insert(pk, slot)
+		for col, idx := range src.indexes {
+			ci, _ := t.schema.ColIndex(col)
+			idx.insert(old[ci], slot)
+		}
+		return err
 	}
 	return nil
 }
 
 // Mutate atomically transforms the row stored under the given primary key:
 // the read, the transformation and the write happen under one acquisition
-// of the table's write lock, so no concurrent writer can interleave between
-// them (the lost-update hazard of a separate Get + Update pair). fn
+// of the row's partition write lock, so no concurrent writer can interleave
+// between them (the lost-update hazard of a separate Get + Update pair). fn
 // receives a clone of the stored row and returns the replacement — it may
 // modify and return its argument. Returning an error aborts the mutation
 // without writing; the error is returned unwrapped so callers can signal
-// "no change needed" cheaply.
+// "no change needed" cheaply. If fn moves the primary key to a different
+// partition the mutation retries under both partition locks, re-invoking fn
+// on the then-current row, so fn must be safe to call more than once.
 func (t *Table) Mutate(pk Value, fn func(Row) (Row, error)) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	id, ok := t.pkIdx.lookupOne(pk)
-	if !ok {
-		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	k := pk.hashKey()
+	pi := t.partForKey(k)
+	for {
+		p := t.parts[pi]
+		p.mu.Lock()
+		id, ok := p.pkIdx.lookupOneKey(k)
+		if !ok {
+			p.mu.Unlock()
+			return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+		}
+		r, err := fn(p.heap[id].Clone())
+		if err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		if err := t.schema.Validate(r); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		pj := t.partFor(r[t.schema.PK])
+		if pj == pi {
+			err = t.updateLocked(p, k, pk, r, true)
+			p.mu.Unlock()
+			return err
+		}
+		// Rare: fn moved the key across stripes. Drop the single lock and
+		// retry under both, re-running fn on the then-current row.
+		p.mu.Unlock()
+		done, err := t.mutateMove(pi, pj, pk, fn)
+		if done {
+			return err
+		}
 	}
-	r, err := fn(t.heap[id].Clone())
+}
+
+// mutateMove is the cross-partition Mutate path: both locks held, fn
+// re-run. It reports done=false when fn's target partition changed again
+// between lock acquisitions (the caller loops).
+func (t *Table) mutateMove(pi, pj int, pk Value, fn func(Row) (Row, error)) (bool, error) {
+	unlock := t.lockPair(pi, pj)
+	defer unlock()
+	src := t.parts[pi]
+	id, ok := src.pkIdx.lookupOne(pk)
+	if !ok {
+		return true, fmt.Errorf("pk %v: %w", pk, ErrNotFound)
+	}
+	r, err := fn(src.heap[id].Clone())
 	if err != nil {
-		return err
+		return true, err
 	}
 	if err := t.schema.Validate(r); err != nil {
-		return err
+		return true, err
 	}
-	return t.updateLocked(pk, r, true)
+	target := t.partFor(r[t.schema.PK])
+	if target == pi {
+		return true, t.updateLocked(src, pk.hashKey(), pk, r, true)
+	}
+	if target != pj {
+		return false, nil // fn steered elsewhere; retry with the right pair
+	}
+	return true, t.moveLocked(src, t.parts[pj], pk, r)
 }
 
 // Delete removes the row with the given primary key.
 func (t *Table) Delete(pk Value) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.deleteLocked(pk, true)
+	k := pk.hashKey()
+	p := t.parts[t.partForKey(k)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return t.deleteLocked(p, k, pk, true)
 }
 
-func (t *Table) deleteLocked(pk Value, logWAL bool) error {
-	ids := t.pkIdx.lookup(pk)
-	if len(ids) == 0 {
+func (t *Table) deleteLocked(p *partition, pkKey string, pk Value, logWAL bool) error {
+	slot, ok := p.pkIdx.lookupOneKey(pkKey)
+	if !ok {
 		return fmt.Errorf("pk %v: %w", pk, ErrNotFound)
 	}
-	slot := ids[0]
-	old := t.heap[slot]
-	t.pkIdx.remove(pk, slot)
-	for col, idx := range t.indexes {
+	// Write-ahead: log before removing the row.
+	if logWAL && t.wal != nil {
+		if err := t.wal.append(walRecord{Op: walDelete, Table: t.name, Key: pk}); err != nil {
+			return err
+		}
+	}
+	old := p.heap[slot]
+	p.pkIdx.removeKey(pkKey, slot)
+	for col, idx := range p.indexes {
 		ci, _ := t.schema.ColIndex(col)
 		idx.remove(old[ci], slot)
 	}
-	t.heap[slot] = nil
-	t.free = append(t.free, slot)
-	t.rows--
-	if logWAL && t.wal != nil {
-		t.wal.append(walRecord{Op: walDelete, Table: t.name, Key: pk})
-	}
+	p.heap[slot] = nil
+	p.free = append(p.free, slot)
+	p.rows--
 	return nil
 }
 
-// Upsert inserts the row, or updates it if the primary key exists.
+// Upsert inserts the row, or updates it if the primary key exists. The key
+// routes to one partition either way, so the whole operation is one stripe
+// lock acquisition.
 func (t *Table) Upsert(r Row) error {
 	if err := t.schema.Validate(r); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	pk := r[t.schema.PK]
-	if ids := t.pkIdx.lookup(pk); len(ids) > 0 {
-		return t.updateLocked(pk, r, true)
+	k := pk.hashKey()
+	p := t.parts[t.partForKey(k)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pkIdx.lookupOneKey(k); ok {
+		return t.updateLocked(p, k, pk, r, true)
 	}
-	_, err := t.insertLocked(r, true)
+	_, err := t.insertLocked(p, k, r, true)
 	return err
 }
 
 // Scan calls fn for every live row (clone). Returning false stops the scan.
-// The iteration order is heap order, not key order.
+// The iteration order is partition order then heap order, not key order.
+// Each partition is consistent under its read lock; a scan concurrent with
+// writers observes every partition at a (possibly different) instant.
 func (t *Table) Scan(fn func(Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, row := range t.heap {
-		if row == nil {
-			continue
+	for _, p := range t.parts {
+		p.mu.RLock()
+		for _, row := range p.heap {
+			if row == nil {
+				continue
+			}
+			if !fn(row.Clone()) {
+				p.mu.RUnlock()
+				return
+			}
 		}
-		if !fn(row.Clone()) {
-			return
-		}
+		p.mu.RUnlock()
 	}
 }
 
-// LookupEq returns all rows whose indexed column equals v. The column must
-// have a secondary index (either kind); otherwise ErrNotFound.
+// LookupEq returns all rows whose indexed column equals v, gathered from
+// every partition's index shard. The column must have a secondary index
+// (either kind); otherwise ErrNotFound.
 func (t *Table) LookupEq(col string, v Value) ([]Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[col]
-	if !ok {
+	if !t.HasIndex(col) {
 		return nil, fmt.Errorf("no index on %q: %w", col, ErrNotFound)
 	}
-	ids := idx.lookup(v)
-	out := make([]Row, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, t.heap[id].Clone())
+	var out []Row
+	for _, p := range t.parts {
+		p.mu.RLock()
+		if idx, ok := p.indexes[col]; ok {
+			for _, id := range idx.lookup(v) {
+				out = append(out, p.heap[id].Clone())
+			}
+		}
+		p.mu.RUnlock()
+	}
+	if out == nil {
+		out = []Row{}
 	}
 	return out, nil
 }
 
 // Range calls fn for every row whose indexed column lies in [lo, hi]
 // (inclusive, nil = open), ascending by that column. The column must have
-// an ordered index.
+// an ordered index. The per-partition ordered shards are merged into one
+// ascending stream under a whole-table read barrier (all partition read
+// locks), so the scan sees a consistent snapshot.
 func (t *Table) Range(col string, lo, hi *Value, fn func(Row) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.indexes[col]
+	kind, ok := t.IndexKindOf(col)
 	if !ok {
 		return fmt.Errorf("no index on %q: %w", col, ErrNotFound)
 	}
-	if idx.kind() != OrderedIndex {
+	if kind != OrderedIndex {
 		return fmt.Errorf("index on %q is not ordered: %w", col, ErrTypeMismatch)
 	}
-	return idx.scanRange(lo, hi, func(_ Value, rowID int) bool {
-		return fn(t.heap[rowID].Clone())
-	})
+	for _, p := range t.parts {
+		p.mu.RLock()
+	}
+	defer func() {
+		for _, p := range t.parts {
+			p.mu.RUnlock()
+		}
+	}()
+	// One cursor per partition, positioned at the first candidate node;
+	// each step emits the globally smallest (value, partition, rowID).
+	cursors := make([]*skipNode, len(t.parts))
+	for i, p := range t.parts {
+		if sk, ok := p.indexes[col].(*skipIdx); ok {
+			cursors[i] = sk.seek(lo)
+		}
+	}
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c == nil {
+				continue
+			}
+			if best < 0 || mergeLess(c.val, i, c.rowID, cursors[best].val, best, cursors[best].rowID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		node := cursors[best]
+		cursors[best] = node.next[0]
+		if lo != nil {
+			if c, err := node.val.Compare(*lo); err == nil && c < 0 {
+				continue
+			}
+		}
+		if hi != nil {
+			if c, err := node.val.Compare(*hi); err == nil && c > 0 {
+				return nil // merged stream is ascending: nothing later fits
+			}
+		}
+		if !fn(t.parts[best].heap[node.rowID].Clone()) {
+			return nil
+		}
+	}
+}
+
+// mergeLess orders merge candidates by (value, partition, rowID); mixed
+// kinds (prevented by schema validation) fall back to kind order.
+func mergeLess(av Value, ai, aid int, bv Value, bi, bid int) bool {
+	c, err := av.Compare(bv)
+	if err != nil {
+		return av.Kind() < bv.Kind()
+	}
+	if c != 0 {
+		return c < 0
+	}
+	if ai != bi {
+		return ai < bi
+	}
+	return aid < bid
+}
+
+// snapshotInto emits the table's live-row count and rows under one
+// whole-table read barrier: all partition read locks are held for the
+// duration, so the emitted set is one consistent cut and no WAL record for
+// this table can be written concurrently (appends happen under partition
+// write locks).
+func (t *Table) snapshotInto(bw *bufio.Writer) error {
+	for _, p := range t.parts {
+		p.mu.RLock()
+	}
+	defer func() {
+		for _, p := range t.parts {
+			p.mu.RUnlock()
+		}
+	}()
+	n := 0
+	for _, p := range t.parts {
+		n += p.rows
+	}
+	writeUvarint(bw, uint64(n))
+	for _, p := range t.parts {
+		for _, row := range p.heap {
+			if row == nil {
+				continue
+			}
+			writeRow(bw, row)
+		}
+	}
+	return bw.Flush()
 }

@@ -85,11 +85,12 @@ func (tx *Txn) Commit() error {
 		return ErrClosed
 	}
 	tx.closed = true
+	var err error
 	if tx.db.wal != nil && len(tx.undo) > 0 {
-		tx.db.wal.append(walRecord{Op: walCommit})
+		err = tx.db.wal.append(walRecord{Op: walCommit})
 	}
 	tx.undo = nil
-	return nil
+	return err
 }
 
 // Rollback undoes every operation of the transaction in reverse order.

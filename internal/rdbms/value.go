@@ -1,12 +1,27 @@
 // Package rdbms implements the embedded relational engine behind the
 // SciLens real-time path (paper §3.3, "Data Collection and Storage"). It
-// provides typed schemas, heap tables, hash and ordered secondary indexes,
-// latch-based transactions with rollback, a write-ahead log with replay,
-// and a small typed query layer (filter/project/order/aggregate).
+// provides typed schemas, partitioned lock-striped heap tables, hash and
+// ordered secondary indexes, latch-based transactions with rollback, a
+// write-ahead log with replay, a durable snapshot + WAL-segment lifecycle
+// (Open / Checkpoint / Close), and a small typed query layer
+// (filter/project/order/aggregate).
+//
+// Tables are sharded into P partitions by primary-key hash: each stripe
+// has its own lock, heap and index shards, so point reads and writes on
+// different keys proceed in parallel; ordered range scans merge the
+// per-partition skip lists back into one ascending stream under a
+// whole-table read barrier. Durability is opt-in via Open(dir): every
+// mutation (and DDL statement) appends to the current WAL segment before
+// the call returns, Checkpoint rotates the log and installs a consistent
+// snapshot atomically, and recovery replays snapshot-then-segments with
+// torn-tail tolerance — an undecodable record truncates the log at the
+// last good boundary instead of aborting.
 //
 // The engine is a faithful miniature of what the platform needs from its
-// RDBMS: indexed point and range access for the interactive path and
-// transactional upserts from the streaming pipeline.
+// RDBMS: indexed point and range access for the interactive path,
+// transactional upserts from the streaming pipeline, and a store that
+// survives restarts without losing the corpus the training loop depends
+// on.
 package rdbms
 
 import (

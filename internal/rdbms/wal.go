@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sync"
 	"time"
 )
@@ -17,33 +18,62 @@ const (
 	walUpdate
 	walDelete
 	walCommit
+	walCreateTable
+	walCreateIndex
 )
 
 // ErrCorrupt is returned when WAL replay encounters an undecodable record.
 var ErrCorrupt = errors.New("rdbms: corrupt WAL")
 
+// ErrWALBroken is returned by mutations after a WAL append failed to reach
+// the OS (disk full, I/O error): the log may end in a torn record, so
+// further appends are refused — writes fail instead of being silently
+// acknowledged without durability. A successful Checkpoint repairs the
+// condition: rotation starts a clean segment and the snapshot captures the
+// in-memory state the broken segment could not log.
+var ErrWALBroken = errors.New("rdbms: write-ahead log broken (append failed)")
+
 // walRecord is one log record. Insert carries Row; Update carries Key (the
-// old pk) and Row; Delete carries Key; Commit carries nothing.
+// old pk) and Row; Delete carries Key; Commit carries nothing. CreateTable
+// carries the schema columns, pk name and partition count; CreateIndex
+// carries the column and kind — the WAL logs DDL as well as data, so a log
+// alone (no snapshot yet) can rebuild a database from scratch.
 type walRecord struct {
 	Op    byte
 	Table string
 	Key   Value
 	Row   Row
+
+	// DDL payloads.
+	Cols   []Column
+	PKName string
+	Parts  int
+	Col    string
+	Kind   IndexKind
 }
 
 // WAL is a write-ahead log: every table mutation is appended as a binary
 // record before the call returns. Replay restores a database from the log.
-// The WAL is safe for concurrent appends.
+// The WAL is safe for concurrent appends. File-backed WALs (NewWALFile)
+// flush each record to the OS as it is appended, so a process crash loses
+// at most the record being written — the torn tail that recovery truncates.
 type WAL struct {
 	mu      sync.Mutex
 	w       *bufio.Writer
+	f       *os.File // nil for plain writers
 	records int
 	bytes   int64
+	broken  bool // an append failed: the tail may be torn, refuse appends
 }
 
 // NewWAL wraps a writer (file, buffer, pipe) as a WAL sink.
 func NewWAL(w io.Writer) *WAL {
 	return &WAL{w: bufio.NewWriter(w)}
+}
+
+// NewWALFile wraps an open file as a WAL sink with per-record flushing.
+func NewWALFile(f *os.File) *WAL {
+	return &WAL{w: bufio.NewWriterSize(f, 1<<16), f: f}
 }
 
 // Records returns the number of records appended so far.
@@ -60,6 +90,16 @@ func (l *WAL) Bytes() int64 {
 	return l.bytes
 }
 
+// Err reports whether the WAL is in the broken state (an append failed).
+func (l *WAL) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return ErrWALBroken
+	}
+	return nil
+}
+
 // Flush drains the internal buffer to the sink.
 func (l *WAL) Flush() error {
 	l.mu.Lock()
@@ -67,12 +107,67 @@ func (l *WAL) Flush() error {
 	return l.w.Flush()
 }
 
-func (l *WAL) append(rec walRecord) {
+// Sync flushes the buffer and, for file-backed WALs, fsyncs the file.
+func (l *WAL) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.f != nil {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// rotate atomically redirects subsequent appends to f, returning the
+// previous file (flushed and fsynced) for the caller to close. Used by the
+// checkpoint cycle: records racing the rotation land in exactly one of the
+// two segments. Rotating a broken WAL skips the old segment's flush (its
+// tail is already torn; the snapshot the checkpoint is about to write
+// supersedes it) and clears the broken state — the new segment is clean.
+func (l *WAL) rotate(f *os.File) (*os.File, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.broken {
+		if err := l.w.Flush(); err != nil {
+			return nil, err
+		}
+		if l.f != nil {
+			if err := l.f.Sync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	old := l.f
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.broken = false
+	return old, nil
+}
+
+// append encodes one record and, for file-backed WALs, flushes it to the
+// OS before returning — write-ahead: callers log first and apply the
+// in-memory mutation only on success, so an acknowledged write is always
+// recoverable (group fsync happens at checkpoint/close). A flush failure
+// marks the WAL broken and fails this and every later append until a
+// checkpoint rotates onto a clean segment.
+func (l *WAL) append(rec walRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return ErrWALBroken
+	}
 	n := writeRecord(l.w, rec)
 	l.records++
 	l.bytes += int64(n)
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			l.broken = true
+			return fmt.Errorf("%w: %v", ErrWALBroken, err)
+		}
+	}
+	return nil
 }
 
 // writeRecord encodes one record; returns bytes written. Write errors on an
@@ -91,23 +186,43 @@ func writeRecord(w *bufio.Writer, rec walRecord) int {
 		n += writeRow(w, rec.Row)
 	case walDelete:
 		n += writeValue(w, rec.Key)
+	case walCreateTable:
+		n += writeUvarint(w, uint64(rec.Parts))
+		n += writeUvarint(w, uint64(len(rec.Cols)))
+		for _, c := range rec.Cols {
+			n += writeString(w, c.Name)
+			w.WriteByte(byte(c.Type))
+			b := byte(0)
+			if c.NotNull {
+				b = 1
+			}
+			w.WriteByte(b)
+			n += 2
+		}
+		n += writeString(w, rec.PKName)
+	case walCreateIndex:
+		n += writeString(w, rec.Col)
+		w.WriteByte(byte(rec.Kind))
+		n++
 	}
 	return n
 }
 
-func writeString(w *bufio.Writer, s string) int {
+func writeUvarint(w *bufio.Writer, v uint64) int {
 	var buf [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(buf[:], uint64(len(s)))
+	k := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:k])
+	return k
+}
+
+func writeString(w *bufio.Writer, s string) int {
+	n := writeUvarint(w, uint64(len(s)))
 	w.WriteString(s)
-	return k + len(s)
+	return n + len(s)
 }
 
 func writeRow(w *bufio.Writer, r Row) int {
-	var buf [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(buf[:], uint64(len(r)))
-	w.Write(buf[:k])
-	n := k
+	n := writeUvarint(w, uint64(len(r)))
 	for _, v := range r {
 		n += writeValue(w, v)
 	}
@@ -149,14 +264,14 @@ func writeValue(w *bufio.Writer, v Value) int {
 }
 
 // readRecord decodes one record; io.EOF at a record boundary means a clean
-// end of log.
+// end of log. Any mid-record failure surfaces as ErrCorrupt.
 func readRecord(r *bufio.Reader) (walRecord, error) {
 	op, err := r.ReadByte()
 	if err != nil {
 		return walRecord{}, err // io.EOF at boundary is clean
 	}
 	rec := walRecord{Op: op}
-	if op < walInsert || op > walCommit {
+	if op < walInsert || op > walCreateIndex {
 		return rec, fmt.Errorf("bad op %d: %w", op, ErrCorrupt)
 	}
 	rec.Table, err = readString(r)
@@ -173,11 +288,50 @@ func readRecord(r *bufio.Reader) (walRecord, error) {
 		}
 	case walDelete:
 		rec.Key, err = readValue(r)
+	case walCreateTable:
+		err = readCreateTable(r, &rec)
+	case walCreateIndex:
+		rec.Col, err = readString(r)
+		if err == nil {
+			var k byte
+			k, err = r.ReadByte()
+			rec.Kind = IndexKind(k)
+		}
 	}
 	if err != nil {
 		return rec, fmt.Errorf("payload: %w", ErrCorrupt)
 	}
 	return rec, nil
+}
+
+func readCreateTable(r *bufio.Reader, rec *walRecord) error {
+	parts, err := binary.ReadUvarint(r)
+	if err != nil || parts > 1<<16 {
+		return ErrCorrupt
+	}
+	rec.Parts = int(parts)
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil || ncols > 1<<12 {
+		return ErrCorrupt
+	}
+	rec.Cols = make([]Column, ncols)
+	for i := range rec.Cols {
+		if rec.Cols[i].Name, err = readString(r); err != nil {
+			return err
+		}
+		ty, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		nn, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		rec.Cols[i].Type = Type(ty)
+		rec.Cols[i].NotNull = nn == 1
+	}
+	rec.PKName, err = readString(r)
+	return err
 }
 
 func readString(r *bufio.Reader) (string, error) {
@@ -255,9 +409,76 @@ func readValue(r *bufio.Reader) (Value, error) {
 	}
 }
 
-// Replay applies a serialised WAL to db. Tables must already exist with
-// matching schemas (the WAL logs data, not DDL). Replay applies records in
-// order; it stops cleanly at EOF and returns the number of records applied.
+// applyRecord applies one decoded record to db. In strict mode data
+// records must apply cleanly (duplicate inserts, missing updates and
+// missing deletes are errors). In loose mode — recovery replay on top of a
+// snapshot that may already contain some of the log's effects — records
+// apply with last-writer-wins semantics: inserts upsert, updates delete
+// the old key (if present) and upsert the new row, deletes of absent rows
+// are no-ops, and re-created tables/indexes are skipped.
+func applyRecord(db *DB, rec walRecord, loose bool) error {
+	switch rec.Op {
+	case walCommit:
+		return nil
+	case walCreateTable:
+		schema, err := NewSchema(rec.Cols, rec.PKName)
+		if err != nil {
+			return fmt.Errorf("replay schema for %q: %w", rec.Table, err)
+		}
+		if _, err := db.CreateTablePartitioned(rec.Table, schema, rec.Parts); err != nil {
+			if errors.Is(err, ErrExists) {
+				return nil // snapshot already has it
+			}
+			return err
+		}
+		return nil
+	case walCreateIndex:
+		t, err := db.Table(rec.Table)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		if err := t.CreateIndex(rec.Col, rec.Kind); err != nil {
+			if errors.Is(err, ErrExists) {
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
+	t, err := db.Table(rec.Table)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	switch rec.Op {
+	case walInsert:
+		if loose {
+			return t.Upsert(rec.Row)
+		}
+		_, err = t.Insert(rec.Row)
+	case walUpdate:
+		if loose {
+			if !rec.Key.Equal(rec.Row[t.schema.PK]) {
+				if derr := t.Delete(rec.Key); derr != nil && !errors.Is(derr, ErrNotFound) {
+					return derr
+				}
+			}
+			return t.Upsert(rec.Row)
+		}
+		err = t.Update(rec.Key, rec.Row)
+	case walDelete:
+		err = t.Delete(rec.Key)
+		if loose && errors.Is(err, ErrNotFound) {
+			err = nil
+		}
+	}
+	return err
+}
+
+// Replay applies a serialised WAL to db in strict mode: DDL records
+// recreate tables and indexes (skipped when they already exist), data
+// records must apply cleanly, and the first undecodable record aborts with
+// ErrCorrupt. It returns the number of records applied. Recovery from disk
+// uses the tolerant variant inside Open instead.
 func Replay(db *DB, r io.Reader) (int, error) {
 	br := bufio.NewReader(r)
 	applied := 0
@@ -269,23 +490,7 @@ func Replay(db *DB, r io.Reader) (int, error) {
 		if err != nil {
 			return applied, err
 		}
-		if rec.Op == walCommit {
-			applied++
-			continue
-		}
-		t, err := db.Table(rec.Table)
-		if err != nil {
-			return applied, fmt.Errorf("replay: %w", err)
-		}
-		switch rec.Op {
-		case walInsert:
-			_, err = t.Insert(rec.Row)
-		case walUpdate:
-			err = t.Update(rec.Key, rec.Row)
-		case walDelete:
-			err = t.Delete(rec.Key)
-		}
-		if err != nil {
+		if err := applyRecord(db, rec, false); err != nil {
 			return applied, fmt.Errorf("replay %d: %w", applied, err)
 		}
 		applied++

@@ -1,6 +1,7 @@
 package rdbms
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"testing"
@@ -36,21 +37,21 @@ func TestWALRoundTrip(t *testing.T) {
 	tbl.Delete(Int(1))
 	flushWAL(t, db)
 
-	if db.wal.Records() != 5 {
+	// 1 create-table DDL record + 5 data records.
+	if db.wal.Records() != 6 {
 		t.Errorf("records: %d", db.wal.Records())
 	}
 	if db.wal.Bytes() <= 0 {
 		t.Error("bytes not counted")
 	}
 
-	// Replay into a fresh DB.
+	// Replay into a fresh, empty DB: the DDL record recreates the table.
 	db2 := NewDB()
-	db2.CreateTable("articles", articleSchema(t))
 	applied, err := Replay(db2, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 5 {
+	if applied != 6 {
 		t.Errorf("applied: %d", applied)
 	}
 	tbl2, _ := db2.Table("articles")
@@ -110,8 +111,8 @@ func TestWALCommitMarker(t *testing.T) {
 	tx.Insert("articles", articleRow(1, "o", "t", 0))
 	tx.Commit()
 	flushWAL(t, db)
-	// 1 insert + 1 commit marker.
-	if db.wal.Records() != 2 {
+	// 1 create-table + 1 insert + 1 commit marker.
+	if db.wal.Records() != 3 {
 		t.Errorf("records: %d", db.wal.Records())
 	}
 	db2 := NewDB()
@@ -120,7 +121,7 @@ func TestWALCommitMarker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 2 {
+	if applied != 3 {
 		t.Errorf("applied: %d", applied)
 	}
 }
@@ -169,13 +170,58 @@ func TestWALCorruptInput(t *testing.T) {
 }
 
 func TestWALUnknownTableOnReplay(t *testing.T) {
+	// A data record with no preceding DDL (hand-crafted log): the table is
+	// genuinely unknown to the replaying database.
 	var buf bytes.Buffer
-	dbw, tbl := walDB(t, &buf)
-	tbl.Insert(articleRow(1, "o", "t", 0))
-	flushWAL(t, dbw)
+	bw := bufio.NewWriter(&buf)
+	writeRecord(bw, walRecord{Op: walInsert, Table: "articles", Row: articleRow(1, "o", "t", 0)})
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	empty := NewDB() // no tables
 	if _, err := Replay(empty, bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNotFound) {
 		t.Errorf("missing table: %v", err)
+	}
+}
+
+func TestWALDDLReplayRebuildsTableAndIndexes(t *testing.T) {
+	var buf bytes.Buffer
+	db, tbl := walDB(t, &buf)
+	if err := tbl.CreateIndex("outlet", HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("score", OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		tbl.Insert(articleRow(i, "o", "t", float64(i)))
+	}
+	flushWAL(t, db)
+
+	db2 := NewDB()
+	if _, err := Replay(db2, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := db2.Table("articles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != 8 {
+		t.Errorf("rows: %d", tbl2.Len())
+	}
+	if kind, ok := tbl2.IndexKindOf("outlet"); !ok || kind != HashIndex {
+		t.Errorf("outlet index not rebuilt: %v %v", kind, ok)
+	}
+	if kind, ok := tbl2.IndexKindOf("score"); !ok || kind != OrderedIndex {
+		t.Errorf("score index not rebuilt: %v %v", kind, ok)
+	}
+	lo, hi := Float(3), Float(5)
+	n := 0
+	if err := tbl2.Range("score", &lo, &hi, func(Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("range over rebuilt index: %d rows", n)
 	}
 }
 

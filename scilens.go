@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/indicators"
 	"repro/internal/outlets"
+	"repro/internal/rdbms"
 	"repro/internal/reviews"
 	"repro/internal/socialind"
 	"repro/internal/synth"
@@ -32,6 +33,14 @@ type (
 	TrainOption = core.TrainOption
 	// ReindexReport summarises one batch corpus re-evaluation run.
 	ReindexReport = core.ReindexReport
+	// ReindexOption customises a ReindexCorpus run (e.g. ReindexForce).
+	ReindexOption = core.ReindexOption
+	// StorageStats reports the store's partition layout, WAL volume and
+	// checkpoint/recovery history (Platform.StorageStats).
+	StorageStats = rdbms.StorageStats
+	// CheckpointStats reports one completed checkpoint
+	// (Platform.Checkpoint).
+	CheckpointStats = rdbms.CheckpointStats
 	// DailyReport summarises one RunDaily maintenance cycle (migration +
 	// model training).
 	DailyReport = core.DailyReport
@@ -65,6 +74,11 @@ func NewComputePool(workers, retries int) *ComputePool {
 // freshly attached model before returning (see Platform.ReindexCorpus), so
 // stored assessments never mix model generations.
 func WithReindex() TrainOption { return core.WithReindex() }
+
+// ReindexForce makes ReindexCorpus re-evaluate every stored row, ignoring
+// the incremental model-generation watermark that normally skips rows
+// already current under the live models.
+func ReindexForce() ReindexOption { return core.ReindexForce() }
 
 // Indicator engine types.
 type (
@@ -252,8 +266,19 @@ func Bootstrap(cfg BootstrapConfig) (*Platform, *World, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := platform.IngestWorld(world, cfg.Consumers); err != nil {
-		return nil, nil, err
+	// A durable platform that recovered a non-empty corpus already holds
+	// the world's rows (plus anything ingested since); re-streaming the
+	// synthetic firehose would only re-evaluate what is already stored.
+	recovered := false
+	if pc.DataDir != "" {
+		if tbl, err := platform.DB.Table(core.ArticlesTable); err == nil && tbl.Len() > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		if _, err := platform.IngestWorld(world, cfg.Consumers); err != nil {
+			return nil, nil, err
+		}
 	}
 	return platform, world, nil
 }
