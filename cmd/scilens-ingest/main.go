@@ -16,6 +16,7 @@
 //
 //	scilens-ingest [-seed N] [-days N] [-scale F] [-consumers N] [-queue N]
 //	               [-shards N] [-batch N] [-sync] [-data-dir DIR] [-partitions N]
+//	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 package main
 
 import (
@@ -40,16 +41,18 @@ func main() {
 		syncMode   = flag.Bool("sync", false, "bypass the pipeline: synchronous one-event-at-a-time ingest")
 		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory)")
 		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
+		fsync      = flag.String("fsync", "checkpoint", "WAL fsync policy: checkpoint, interval[:dur] or always")
+		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions); err != nil {
+	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions, *fsync, *deltaLimit); err != nil {
 		fmt.Fprintln(os.Stderr, "scilens-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int) (err error) {
+func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int, fsync string, deltaLimit int) (err error) {
 	world := scilens.GenerateWorld(scilens.WorldConfig{
 		Seed: seed, Days: days, RateScale: scale, ReactionScale: reactions,
 	})
@@ -58,11 +61,13 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 		len(world.Articles), len(events), world.Days)
 
 	platform, err := scilens.New(scilens.Config{
-		QueueCapacity:     queue,
-		StreamShards:      shards,
-		StreamBatchSize:   batch,
-		DataDir:           dataDir,
-		StoragePartitions: partitions,
+		QueueCapacity:        queue,
+		StreamShards:         shards,
+		StreamBatchSize:      batch,
+		DataDir:              dataDir,
+		StoragePartitions:    partitions,
+		WALFsyncPolicy:       fsync,
+		CheckpointDeltaLimit: deltaLimit,
 	})
 	if err != nil {
 		return err
@@ -112,8 +117,9 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 			ss.Enqueued, ss.Evaluated, ss.Committed, ss.Batches, ss.Retried, ss.DeadLettered, ss.Shed)
 	}
 	if st := platform.StorageStats(); st.Durable {
-		fmt.Printf("storage:         rows=%d wal-records=%d wal-bytes=%d partitions(articles)=%d\n",
-			st.Rows, st.WALRecords, st.WALBytes, st.TablePartitions["articles"])
+		fmt.Printf("storage:         rows=%d wal-records=%d wal-bytes=%d partitions(articles)=%d fsync=%s fsyncs=%d\n",
+			st.Rows, st.WALRecords, st.WALBytes, st.TablePartitions["articles"],
+			st.WALFsyncPolicy, st.WALFsyncs)
 	}
 	if stats.ParseFailures > 0 || stats.OrphanReactions > 0 {
 		return fmt.Errorf("ingestion dropped events: %+v", stats)

@@ -12,6 +12,7 @@
 //
 //	scilens-server [-addr :8080] [-seed N] [-days N] [-scale F]
 //	               [-data-dir DIR] [-partitions N]
+//	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 //
 // Endpoints:
 //
@@ -50,6 +51,8 @@ func main() {
 		reactions  = flag.Float64("reactions", 0.3, "social cascade size scale")
 		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory)")
 		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
+		fsync      = flag.String("fsync", "checkpoint", "WAL fsync policy: checkpoint, interval[:dur] or always")
+		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
 	)
 	flag.Parse()
 
@@ -58,8 +61,10 @@ func main() {
 	platform, world, err := scilens.Bootstrap(scilens.BootstrapConfig{
 		Seed: seed64(*seed), Days: *days, RateScale: *scale, ReactionScale: *reactions,
 		Platform: scilens.Config{
-			DataDir:           *dataDir,
-			StoragePartitions: *partitions,
+			DataDir:              *dataDir,
+			StoragePartitions:    *partitions,
+			WALFsyncPolicy:       *fsync,
+			CheckpointDeltaLimit: *deltaLimit,
 		},
 	})
 	if err != nil {
@@ -68,8 +73,10 @@ func main() {
 	stats := platform.Stats()
 	st := platform.StorageStats()
 	if st.RecoveredRecords > 0 || st.Durable {
-		log.Printf("storage: durable=%v rows=%d wal-records=%d recovered=%d truncated=%v",
-			st.Durable, st.Rows, st.WALRecords, st.RecoveredRecords, st.RecoveredTruncated)
+		log.Printf("storage: durable=%v rows=%d wal-records=%d fsync=%s gen=%d deltas=%d recovered=%d truncated=%v",
+			st.Durable, st.Rows, st.WALRecords, st.WALFsyncPolicy,
+			st.SnapshotGeneration, st.DeltaChainLength,
+			st.RecoveredRecords, st.RecoveredTruncated)
 	}
 	log.Printf("ingested %d articles, %d reactions in %v",
 		stats.Postings, stats.Reactions, time.Since(start).Round(time.Millisecond))

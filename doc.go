@@ -88,19 +88,40 @@
 // pipeline's parallel shards and the real-time read paths stop contending
 // on one table lock; ordered range scans merge the per-partition indexes
 // back into one ascending stream. Durability is opt-in via Config.DataDir:
-// when set, NewPlatform recovers the previous state from the directory's
-// snapshot plus WAL replay (tolerating a torn log tail from a crash
-// mid-write — the log is truncated at the last good record, never
-// abandoned), every mutation is write-ahead logged before the call
-// returns, Platform.Checkpoint persists online under concurrent traffic
-// (POST /api/checkpoint), and Platform.Close drains the pipeline and
-// writes a final checkpoint. An empty DataDir preserves the historic
-// behaviour exactly: a purely in-memory platform that touches no disk.
-// Stored article rows carry a model-generation watermark, so
-// ReindexCorpus after a retrain only re-evaluates rows that are actually
-// stale (ReindexForce overrides); the dead_letters table is bounded by
-// age/size retention with oldest-first eviction.
+// when set, every mutation is write-ahead logged before the call returns
+// and NewPlatform recovers the previous state from the directory. An
+// empty DataDir preserves the historic behaviour exactly: a purely
+// in-memory platform that touches no disk. Stored article rows carry a
+// model-generation watermark, so ReindexCorpus after a retrain only
+// re-evaluates rows that are actually stale (ReindexForce overrides); the
+// dead_letters table is bounded by age/size retention with oldest-first
+// eviction.
+//
+// # Incremental checkpoints and fsync policies
+//
+// Checkpoints are incremental: every table partition carries a dirty
+// epoch, and Platform.Checkpoint (POST /api/checkpoint, callable online
+// under concurrent traffic) serialises only the partitions dirtied since
+// the last checkpoint into a new numbered snapshot generation, chained
+// onto the base by an atomically rewritten manifest — checkpoint cost
+// follows the write rate, not the corpus size. When the chain exceeds
+// Config.CheckpointDeltaLimit the checkpoint compacts it into a fresh
+// full base. Recovery applies manifest → base → deltas → WAL segments,
+// tolerating a torn log tail (truncated at the last good record) but
+// failing loudly if the manifest references a missing generation.
+// Config.WALFsyncPolicy bounds the power-loss window: "checkpoint"
+// (default) fsyncs only at checkpoint/close, "interval:<dur>" fsyncs on a
+// background cadence, and "always" gives per-commit durability via group
+// commit — concurrent writers park on a committed-LSN watermark and one
+// flusher goroutine batches them onto a single fsync. Platform.Close
+// drains the pipeline and writes a final checkpoint.
 //
 // Everything is deterministic for a fixed seed and uses only the Go
 // standard library.
+//
+// Operator documentation lives in docs/: docs/ARCHITECTURE.md (layer map,
+// subsystem design, durability/recovery flow), docs/OPERATIONS.md (flags,
+// fsync tradeoffs, checkpoint tuning, crash-recovery runbook) and
+// docs/API.md (the full HTTP reference for every /api endpoint, pinned
+// against the code by a golden test and the CI docscheck gate).
 package scilens

@@ -129,13 +129,18 @@ func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request)
 		"inflight":     ss.Inflight,
 		"dead_letters": ss.DeadLetterBacklog,
 		"storage": map[string]any{
-			"durable":         st.Durable,
-			"rows":            st.Rows,
-			"partitions":      st.TablePartitions,
-			"wal_records":     st.WALRecords,
-			"wal_bytes":       st.WALBytes,
-			"checkpoints":     st.Checkpoints,
-			"last_checkpoint": st.LastCheckpoint,
+			"durable":             st.Durable,
+			"rows":                st.Rows,
+			"partitions":          st.TablePartitions,
+			"wal_records":         st.WALRecords,
+			"wal_bytes":           st.WALBytes,
+			"wal_fsync_policy":    st.WALFsyncPolicy,
+			"wal_fsyncs":          st.WALFsyncs,
+			"checkpoints":         st.Checkpoints,
+			"last_checkpoint":     st.LastCheckpoint,
+			"snapshot_generation": st.SnapshotGeneration,
+			"delta_chain_length":  st.DeltaChainLength,
+			"prune_failures":      st.PruneFailures,
 		},
 	})
 }
@@ -667,14 +672,21 @@ func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// checkpointResponse reports one online checkpoint.
+// checkpointResponse reports one online checkpoint. Generation is 0 when
+// nothing was dirty (no generation written); Full marks a base generation
+// (first checkpoint or delta-chain compaction).
 type checkpointResponse struct {
-	Tables         int     `json:"tables"`
-	Rows           int     `json:"rows"`
-	SnapshotBytes  int64   `json:"snapshot_bytes"`
-	SegmentsPruned int     `json:"segments_pruned"`
-	WALSegment     int     `json:"wal_segment"`
-	DurationMS     float64 `json:"duration_ms"`
+	Tables            int     `json:"tables"`
+	Rows              int     `json:"rows"`
+	SnapshotBytes     int64   `json:"snapshot_bytes"`
+	Generation        int     `json:"generation"`
+	Full              bool    `json:"full"`
+	PartitionsWritten int     `json:"partitions_written"`
+	DeltaChain        int     `json:"delta_chain"`
+	SegmentsPruned    int     `json:"segments_pruned"`
+	PruneFailures     int     `json:"prune_failures"`
+	WALSegment        int     `json:"wal_segment"`
+	DurationMS        float64 `json:"duration_ms"`
 }
 
 // handleCheckpoint persists the store online: WAL rotation + snapshot +
@@ -692,12 +704,17 @@ func (s *AdminService) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusOK, checkpointResponse{
-		Tables:         st.Tables,
-		Rows:           st.Rows,
-		SnapshotBytes:  st.SnapshotBytes,
-		SegmentsPruned: st.SegmentsPruned,
-		WALSegment:     st.WALSegment,
-		DurationMS:     float64(st.Duration.Microseconds()) / 1000,
+		Tables:            st.Tables,
+		Rows:              st.Rows,
+		SnapshotBytes:     st.SnapshotBytes,
+		Generation:        st.Generation,
+		Full:              st.Full,
+		PartitionsWritten: st.PartitionsWritten,
+		DeltaChain:        st.DeltaChainLen,
+		SegmentsPruned:    st.SegmentsPruned,
+		PruneFailures:     st.PruneFailures,
+		WALSegment:        st.WALSegment,
+		DurationMS:        float64(st.Duration.Microseconds()) / 1000,
 	})
 }
 

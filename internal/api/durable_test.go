@@ -113,6 +113,96 @@ func TestStatsExposeStorage(t *testing.T) {
 	}
 }
 
+// storageStatsFields is the documented JSON shape of the storage section
+// served by GET /api/stats (rdbms.StorageStats) — the golden list that
+// docs/API.md's field reference is written against. Adding, renaming or
+// removing a field must update this list AND docs/API.md together.
+var storageStatsFields = []string{
+	"dir", // omitempty: present only on durable platforms
+	"durable",
+	"tables",
+	"rows",
+	"table_partitions",
+	"wal_records",
+	"wal_bytes",
+	"wal_segment",
+	"wal_fsync_policy",
+	"wal_fsyncs",
+	"wal_fsync_batched_records",
+	"checkpoints",
+	"last_checkpoint",
+	"snapshot_bytes",
+	"snapshot_generation",
+	"delta_chain_length",
+	"compactions",
+	"last_checkpoint_full",
+	"last_checkpoint_partitions",
+	"prune_failures",
+	"recovered_records",
+	"recovered_truncated",
+}
+
+// healthStorageFields is the storage subset served by GET /api/health.
+var healthStorageFields = []string{
+	"durable", "rows", "partitions", "wal_records", "wal_bytes",
+	"wal_fsync_policy", "wal_fsyncs", "checkpoints", "last_checkpoint",
+	"snapshot_generation", "delta_chain_length", "prune_failures",
+}
+
+// TestStorageStatsJSONShape is the golden-field pin: the exact key set of
+// the storage payloads served by /api/stats and /api/health must match the
+// documented lists, so docs/API.md and the code cannot drift silently.
+func TestStorageStatsJSONShape(t *testing.T) {
+	_, srv := durableFixture(t)
+	if rec, _ := doJSON(t, srv, "POST", "/api/checkpoint", nil); rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d", rec.Code)
+	}
+
+	assertKeys := func(name string, got map[string]any, want []string) {
+		t.Helper()
+		wantSet := map[string]bool{}
+		for _, k := range want {
+			wantSet[k] = true
+		}
+		for k := range got {
+			if !wantSet[k] {
+				t.Errorf("%s: undocumented field %q — add it to docs/API.md and the golden list", name, k)
+			}
+		}
+		for _, k := range want {
+			if _, ok := got[k]; !ok {
+				t.Errorf("%s: documented field %q missing from the payload", name, k)
+			}
+		}
+	}
+
+	rec, payload := doJSON(t, srv, "GET", "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status: %d", rec.Code)
+	}
+	storage, ok := payload["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf("no storage section: %v", payload)
+	}
+	assertKeys("/api/stats storage", storage, storageStatsFields)
+	if storage["wal_fsync_policy"] != "checkpoint" {
+		t.Errorf("default fsync policy: %v", storage["wal_fsync_policy"])
+	}
+	if storage["snapshot_generation"].(float64) <= 0 {
+		t.Errorf("snapshot_generation after checkpoint: %v", storage["snapshot_generation"])
+	}
+
+	rec, health := doJSON(t, srv, "GET", "/api/health", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health status: %d", rec.Code)
+	}
+	hs, ok := health["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf("no health storage section: %v", health)
+	}
+	assertKeys("/api/health storage", hs, healthStorageFields)
+}
+
 // TestReindexEndpointIncremental: the endpoint reports skipped rows by
 // default and force re-evaluates everything.
 func TestReindexEndpointIncremental(t *testing.T) {

@@ -170,6 +170,19 @@ type Config struct {
 	// (default rdbms.DefaultPartitions; 1 degenerates to the historic
 	// single-lock tables).
 	StoragePartitions int
+	// CheckpointDeltaLimit bounds the incremental-checkpoint delta chain:
+	// once a checkpoint would push the chain past this many deltas it
+	// writes a full base generation instead, compacting the chain
+	// (default rdbms.DefaultDeltaLimit; negative forces every checkpoint
+	// to be full — the pre-incremental behaviour).
+	CheckpointDeltaLimit int
+	// WALFsyncPolicy selects when the durable store fsyncs its WAL:
+	// "checkpoint" (default — fsync only at checkpoint/close),
+	// "interval" or "interval:<duration>" (a background flusher bounds
+	// the power-loss window to one cadence), or "always" (group-commit:
+	// every write waits for an fsync, concurrent writers batched onto
+	// one). Ignored for in-memory platforms.
+	WALFsyncPolicy string
 
 	// DeadLetterMaxCount bounds the dead_letters table; when an insert
 	// pushes the backlog above the bound, the oldest rows are evicted
@@ -210,8 +223,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	// otherwise.
 	var db *rdbms.DB
 	if cfg.DataDir != "" {
-		var err error
-		db, err = rdbms.OpenWithOptions(cfg.DataDir, rdbms.Options{Partitions: cfg.StoragePartitions})
+		fsync, interval, err := rdbms.ParseFsyncPolicy(cfg.WALFsyncPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		db, err = rdbms.OpenWithOptions(cfg.DataDir, rdbms.Options{
+			Partitions:    cfg.StoragePartitions,
+			Fsync:         fsync,
+			FsyncInterval: interval,
+			DeltaLimit:    cfg.CheckpointDeltaLimit,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open data dir: %w", err)
 		}

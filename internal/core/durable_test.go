@@ -139,6 +139,94 @@ func TestPlatformKillAndRecover(t *testing.T) {
 	}
 }
 
+// TestPlatformDeltaChainKillAndRecover exercises the incremental
+// checkpoint path end to end through the platform config
+// (CheckpointDeltaLimit, WALFsyncPolicy): traffic is ingested in rounds
+// with a checkpoint after each, building a base plus a ≥3-delta chain,
+// then more traffic lands only in the WAL, the process crashes, and a
+// fresh platform on the same directory must recover every table
+// DeepEqual-identical from manifest → base → deltas → WAL replay.
+func TestPlatformDeltaChainKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	const days = 6
+	w := synth.GenerateWorld(synth.Config{Seed: 67, Days: days, RateScale: 0.3, ReactionScale: 0.3})
+	events := w.Events()
+	if len(events) < 40 {
+		t.Fatalf("fixture too small: %d events", len(events))
+	}
+	cfg := func(c *Config) {
+		c.CheckpointDeltaLimit = 16 // keep the chain: no compaction mid-test
+		c.WALFsyncPolicy = "interval:5ms"
+	}
+	p := durablePlatform(t, dir, days, cfg)
+
+	// Round 0 seeds the base; rounds 1..3 each add traffic and chain a
+	// delta onto it.
+	chunk := len(events) / 5
+	ingest := func(round int) {
+		for i := round * chunk; i < (round+1)*chunk; i++ {
+			_ = p.IngestEvent(&events[i]) // orphans on chunk edges are fine
+		}
+	}
+	ingest(0)
+	st, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full {
+		t.Fatalf("first checkpoint not a base: %+v", st)
+	}
+	for round := 1; round <= 3; round++ {
+		ingest(round)
+		if st, err = p.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if st.Full || st.DeltaChainLen != round {
+			t.Fatalf("round %d: %+v", round, st)
+		}
+	}
+	// Tail traffic recoverable only from the WAL.
+	ingest(4)
+	want := dumpPlatform(t, p)
+	crash(p)
+
+	re := durablePlatform(t, dir, days, cfg)
+	defer re.Close()
+	got := dumpPlatform(t, re)
+	for _, table := range allTables {
+		if !reflect.DeepEqual(want[table], got[table]) {
+			t.Fatalf("%s diverged after delta-chain recovery: want %d rows, got %d",
+				table, len(want[table]), len(got[table]))
+		}
+	}
+	ss := re.StorageStats()
+	if ss.DeltaChainLength != 3 {
+		t.Errorf("recovered delta chain: %d", ss.DeltaChainLength)
+	}
+	if ss.WALFsyncPolicy != "interval" {
+		t.Errorf("recovered fsync policy: %q", ss.WALFsyncPolicy)
+	}
+	if ss.RecoveredRecords == 0 {
+		t.Error("nothing replayed from the WAL tail")
+	}
+	// The recovered platform keeps serving and checkpointing.
+	if _, err := re.AssessID(w.Articles[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := re.Checkpoint(); err != nil || st.Full {
+		t.Fatalf("post-recovery checkpoint: %+v %v", st, err)
+	}
+}
+
+// TestPlatformFsyncPolicyRejected: a bad policy string must fail platform
+// assembly loudly, not be silently coerced.
+func TestPlatformFsyncPolicyRejected(t *testing.T) {
+	_, err := NewPlatform(Config{DataDir: t.TempDir(), WALFsyncPolicy: "sometimes"})
+	if err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
 // TestPlatformCloseCheckpoints: Close drains and writes a final
 // checkpoint, so a reopen restores purely from the snapshot (zero WAL
 // records to replay) and sees the full corpus.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Options configures a database.
@@ -15,7 +16,24 @@ type Options struct {
 	Partitions int
 	// WAL, when set, receives every table mutation and DDL statement.
 	WAL *WAL
+	// Fsync selects when durable databases fsync the WAL (default
+	// FsyncCheckpoint: only at checkpoint, rotation and close). See
+	// FsyncPolicy for the interval and group-commit variants.
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush cadence under FsyncIntervalPolicy
+	// (default DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// DeltaLimit bounds the incremental-checkpoint delta chain: when a
+	// checkpoint would make the chain longer than this, it writes a full
+	// base generation instead and prunes the old chain (default
+	// DefaultDeltaLimit; negative forces every checkpoint to be full).
+	DeltaLimit int
 }
+
+// DefaultDeltaLimit is the delta-chain bound when Options do not name one:
+// after this many delta generations, the next checkpoint compacts the
+// chain into a fresh base.
+const DefaultDeltaLimit = 8
 
 // DB is a named collection of partitioned tables plus an optional
 // write-ahead log and, when opened with Open, a durable home directory
@@ -33,6 +51,13 @@ type DB struct {
 	ckptMu  sync.Mutex // serialises checkpoints
 	statsMu sync.Mutex
 	stats   durableStats
+
+	// Incremental-checkpoint state (guarded by statsMu; mutated only under
+	// ckptMu during checkpoints).
+	deltaLimit int   // delta-chain bound before compaction
+	snapBase   int   // base generation number (0 = none yet)
+	snapDeltas []int // delta generation numbers, chain order
+	snapGen    int   // highest generation number ever allocated
 }
 
 // NewDB creates an empty in-memory database without a WAL.

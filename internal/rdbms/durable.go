@@ -15,31 +15,63 @@ import (
 )
 
 // Durable lifecycle: a database opened with Open lives in a directory —
-// one snapshot file plus a sequence of WAL segments:
+// a manifest-chained sequence of snapshot generations plus the WAL
+// segments written since the last checkpoint:
 //
-//	<dir>/snapshot.db     last checkpoint (atomic rename)
-//	<dir>/wal-000042.log  mutations since (and during) that checkpoint
+//	<dir>/MANIFEST        generation chain: one base + ordered deltas
+//	<dir>/snap-000007/    snapshot generation (tables.dat inside)
+//	<dir>/wal-000042.log  mutations since (and during) the last checkpoint
 //
-// Open recovers snapshot-then-replay; Checkpoint rotates the WAL, writes a
-// fresh snapshot and prunes the old segments. Replay is tolerant: a torn
-// final record (the crash window of the per-record flush) truncates the
-// segment at the last good boundary instead of aborting recovery.
+// Checkpoints are incremental: each one rotates the WAL and serialises
+// only the partitions dirtied since the previous checkpoint into a new
+// delta generation, chaining it onto the manifest — checkpoint cost
+// follows the write rate, not the corpus size. When the delta chain
+// exceeds Options.DeltaLimit the checkpoint compacts: it writes a full
+// base generation and prunes the old chain. Open recovers manifest → base
+// → deltas → WAL segments (a legacy single-file snapshot.db is still
+// honoured when no manifest exists). WAL replay is tolerant: a torn final
+// record truncates the segment at the last good boundary instead of
+// aborting recovery — but a generation named by the manifest must exist
+// and apply completely, or Open fails loudly rather than silently
+// dropping committed data.
 
 // ErrNoDir is returned by durable operations on an in-memory database.
 var ErrNoDir = errors.New("rdbms: database has no data directory")
+
+// ErrManifest is returned by Open when the manifest references a snapshot
+// generation that is missing or unreadable. Unlike a torn WAL tail (an
+// expected crash artefact, tolerated by truncation), a broken generation
+// chain means committed data is gone; recovery must fail, not improvise.
+var ErrManifest = errors.New("rdbms: manifest references missing or corrupt snapshot generation")
 
 // ErrLocked is returned when another live process holds the data
 // directory: two writers appending to the same WAL segment would
 // interleave record bytes and corrupt the log.
 var ErrLocked = errors.New("rdbms: data directory locked by another process")
 
-// snapshotFile is the checkpoint file name inside a data directory.
+// snapshotFile is the legacy single-file checkpoint name (pre-incremental
+// layouts); Open still restores from it when no manifest exists, and the
+// first incremental checkpoint retires it.
 const snapshotFile = "snapshot.db"
+
+// manifestFile names the generation chain inside a data directory.
+const manifestFile = "MANIFEST"
+
+// genDataFile is the serialised payload inside a generation directory.
+const genDataFile = "tables.dat"
 
 // lockFile is the advisory flock target inside a data directory. The OS
 // releases the lock when the holding process dies, so a crash never
 // strands the directory.
 const lockFile = "LOCK"
+
+// removeFile / removeTree are the prune primitives, indirected so tests
+// can inject removal failures (prune is best-effort by contract: a
+// leftover file must never fail an otherwise-successful checkpoint).
+var (
+	removeFile = os.Remove
+	removeTree = os.RemoveAll
+)
 
 // durableStats is the checkpoint/recovery bookkeeping behind StorageStats.
 type durableStats struct {
@@ -48,6 +80,10 @@ type durableStats struct {
 	snapshotBytes      int64
 	recoveredRecords   int
 	recoveredTruncated bool
+	compactions        int
+	lastFull           bool
+	lastParts          int
+	pruneFailures      int
 }
 
 // StorageStats is an observable snapshot of the storage engine: partition
@@ -68,11 +104,36 @@ type StorageStats struct {
 	WALBytes   int64 `json:"wal_bytes"`
 	// WALSegment is the current segment sequence number.
 	WALSegment int `json:"wal_segment"`
+	// WALFsyncPolicy is the configured fsync policy ("checkpoint",
+	// "interval" or "always"); WALFsyncs counts fsyncs issued by the
+	// policy's background flusher and WALFsyncBatchedRecords the records
+	// those fsyncs committed — their ratio is the achieved group-commit
+	// batch size.
+	WALFsyncPolicy         string `json:"wal_fsync_policy"`
+	WALFsyncs              uint64 `json:"wal_fsyncs"`
+	WALFsyncBatchedRecords uint64 `json:"wal_fsync_batched_records"`
 	// Checkpoints counts completed checkpoints since open; LastCheckpoint
 	// and SnapshotBytes describe the most recent one.
 	Checkpoints    int       `json:"checkpoints"`
 	LastCheckpoint time.Time `json:"last_checkpoint"`
 	SnapshotBytes  int64     `json:"snapshot_bytes"`
+	// SnapshotGeneration is the highest snapshot generation number in the
+	// manifest chain; DeltaChainLength is the number of delta generations
+	// chained onto the base (0 right after a full checkpoint).
+	SnapshotGeneration int `json:"snapshot_generation"`
+	DeltaChainLength   int `json:"delta_chain_length"`
+	// Compactions counts checkpoints that folded the delta chain back
+	// into a full base; LastCheckpointFull reports whether the most
+	// recent checkpoint was one, and LastCheckpointPartitions how many
+	// partitions it serialised.
+	Compactions              int  `json:"compactions"`
+	LastCheckpointFull       bool `json:"last_checkpoint_full"`
+	LastCheckpointPartitions int  `json:"last_checkpoint_partitions"`
+	// PruneFailures counts WAL segments, generation directories and
+	// legacy snapshots that a checkpoint failed to delete. Prune is
+	// best-effort: a leftover file never fails a checkpoint, but it is
+	// surfaced here so operators notice disk not being reclaimed.
+	PruneFailures int `json:"prune_failures"`
 	// RecoveredRecords is the number of WAL records replayed by Open;
 	// RecoveredTruncated reports whether recovery had to truncate a torn
 	// or corrupt log tail.
@@ -84,13 +145,26 @@ type StorageStats struct {
 type CheckpointStats struct {
 	// Duration is the wall-clock time of the checkpoint.
 	Duration time.Duration
-	// SnapshotBytes is the size of the written snapshot.
+	// SnapshotBytes is the size of the written snapshot generation (0 for
+	// a no-op checkpoint that found nothing dirty).
 	SnapshotBytes int64
-	// Tables and Rows count what the snapshot contains.
+	// Tables and Rows count the tables and rows serialised into the
+	// generation (a delta counts only the tables and rows it carries).
 	Tables int
 	Rows   int
-	// SegmentsPruned is the number of WAL segments deleted.
+	// Generation is the generation number this checkpoint wrote (0 for a
+	// no-op checkpoint); Full reports whether it was a base (first
+	// checkpoint, compaction, or DeltaLimit < 0) rather than a delta.
+	Generation int
+	Full       bool
+	// PartitionsWritten counts the partitions serialised;
+	// DeltaChainLen is the manifest's delta count after this checkpoint.
+	PartitionsWritten int
+	DeltaChainLen     int
+	// SegmentsPruned is the number of WAL segments deleted; PruneFailures
+	// counts files the prune could not delete (surfaced, never fatal).
 	SegmentsPruned int
+	PruneFailures  int
 	// WALSegment is the segment now receiving appends.
 	WALSegment int
 }
@@ -118,26 +192,64 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 		lock.Close()
 		return nil, err
 	}
-	snapPath := filepath.Join(dir, snapshotFile)
-	if f, err := os.Open(snapPath); err == nil {
-		db, err = Restore(f)
-		f.Close()
-		if err != nil {
-			return fail(fmt.Errorf("restore %s: %w", snapPath, err))
-		}
-	} else if !os.IsNotExist(err) {
+
+	// Recover the snapshot chain: manifest → base generation → deltas in
+	// chain order. A generation the manifest references must exist and
+	// apply completely — failing loudly here beats silently dropping
+	// committed partitions. Directories without a manifest fall back to
+	// the legacy single-file snapshot.
+	base, deltas, walFloor, err := readManifest(dir)
+	if err != nil {
 		return fail(err)
+	}
+	if base > 0 {
+		db = NewDBWithOptions(Options{Partitions: o.Partitions})
+		for _, gen := range append([]int{base}, deltas...) {
+			if err := applyGenerationFile(db, filepath.Join(dir, genDirName(gen), genDataFile)); err != nil {
+				return fail(fmt.Errorf("%w: generation %d: %v", ErrManifest, gen, err))
+			}
+		}
+	} else {
+		snapPath := filepath.Join(dir, snapshotFile)
+		if f, err := os.Open(snapPath); err == nil {
+			db, err = Restore(f)
+			f.Close()
+			if err != nil {
+				return fail(fmt.Errorf("restore %s: %w", snapPath, err))
+			}
+		} else if !os.IsNotExist(err) {
+			return fail(err)
+		}
 	}
 	if db == nil {
 		db = NewDBWithOptions(Options{Partitions: o.Partitions})
 	} else if o.Partitions > 0 {
 		db.partitions = o.Partitions
 	}
+	// The generations hold exactly the recovered state: start every stripe
+	// clean so the next checkpoint's delta carries only what the WAL
+	// replay below and live traffic actually dirty.
+	for _, t := range db.tablesSorted() {
+		t.markAllClean()
+	}
 
 	segs, err := walSegments(dir)
 	if err != nil {
 		return fail(err)
 	}
+	// Segments below the manifest's WAL floor are superseded by the chain;
+	// they exist only because a checkpoint's best-effort prune failed.
+	// Replaying one over the chain would resurrect deleted rows, so skip
+	// them and retry the reclaim.
+	live := segs[:0]
+	for _, seg := range segs {
+		if segSeq(seg) < walFloor {
+			_ = os.Remove(seg)
+			continue
+		}
+		live = append(live, seg)
+	}
+	segs = live
 	recovered, truncated := 0, false
 	for i, seg := range segs {
 		n, trunc, err := replaySegment(db, seg)
@@ -158,24 +270,166 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	}
 
 	var f *os.File
+	// A fresh segment must start at or above the floor, or the next open
+	// would reap it as superseded.
 	seq := 1
+	if walFloor > seq {
+		seq = walFloor
+	}
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
 		seq = segSeq(last)
 		f, err = os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
 	} else {
-		f, err = os.OpenFile(filepath.Join(dir, segName(1)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err = os.OpenFile(filepath.Join(dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	}
 	if err != nil {
 		return fail(err)
 	}
-	db.attachWAL(NewWALFile(f))
+	db.attachWAL(NewWALFilePolicy(f, o.Fsync, o.FsyncInterval))
 	db.dir = dir
 	db.lock = lock
 	db.walSeq = seq
+	db.deltaLimit = o.DeltaLimit
+	if db.deltaLimit == 0 {
+		db.deltaLimit = DefaultDeltaLimit
+	}
+	db.snapBase = base
+	db.snapDeltas = deltas
+	db.snapGen = maxGeneration(dir, base, deltas)
 	db.stats.recoveredRecords = recovered
 	db.stats.recoveredTruncated = truncated
 	return db, nil
+}
+
+// applyGenerationFile applies one generation payload from disk.
+func applyGenerationFile(db *DB, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return applyGeneration(db, f)
+}
+
+// genDirName formats a snapshot generation directory name; zero-padded so
+// lexicographic order is generation order.
+func genDirName(gen int) string { return fmt.Sprintf("snap-%06d", gen) }
+
+// genDirSeq parses a generation number from a snap directory path (0 if
+// malformed, e.g. a leftover .tmp directory).
+func genDirSeq(path string) int {
+	base := strings.TrimPrefix(filepath.Base(path), "snap-")
+	n, err := strconv.Atoi(base)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// maxGeneration returns the highest generation number in use — referenced
+// by the manifest or present on disk (an orphan directory from a crash
+// between generation rename and manifest install must not be reused).
+func maxGeneration(dir string, base int, deltas []int) int {
+	maxGen := base
+	for _, d := range deltas {
+		if d > maxGen {
+			maxGen = d
+		}
+	}
+	if matches, err := filepath.Glob(filepath.Join(dir, "snap-*")); err == nil {
+		for _, m := range matches {
+			if n := genDirSeq(m); n > maxGen {
+				maxGen = n
+			}
+		}
+	}
+	return maxGen
+}
+
+// manifestMagic heads the manifest file.
+const manifestMagic = "SLMANIFEST1"
+
+// readManifest parses <dir>/MANIFEST into the generation chain plus the
+// WAL floor: the first segment sequence the chain does NOT supersede.
+// Segments below the floor are dead — the chain already contains their
+// effects — and must be skipped at recovery even if a prune failed to
+// delete them (replaying a stale pre-chain segment over the chain would
+// resurrect deleted rows). A missing manifest yields base 0 (legacy or
+// fresh directory); a malformed one is an error — improvising a chain
+// risks silently dropping data.
+func readManifest(dir string) (base int, deltas []int, walFloor int, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if os.IsNotExist(err) {
+		return 0, nil, 0, nil
+	}
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != manifestMagic {
+		return 0, nil, 0, fmt.Errorf("%w: bad manifest header", ErrManifest)
+	}
+	for i, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return 0, nil, 0, fmt.Errorf("%w: bad manifest line %q", ErrManifest, line)
+		}
+		n, aerr := strconv.Atoi(fields[1])
+		if aerr != nil || n <= 0 {
+			return 0, nil, 0, fmt.Errorf("%w: bad manifest number %q", ErrManifest, fields[1])
+		}
+		switch {
+		case i == 0 && fields[0] == "base":
+			base = n
+		case i > 0 && fields[0] == "delta" && walFloor == 0:
+			deltas = append(deltas, n)
+		case i > 0 && fields[0] == "wal" && walFloor == 0:
+			walFloor = n
+		default:
+			return 0, nil, 0, fmt.Errorf("%w: bad manifest line %q", ErrManifest, line)
+		}
+	}
+	return base, deltas, walFloor, nil
+}
+
+// writeManifest atomically installs the generation chain and the WAL
+// floor: tmp + fsync + rename + directory sync. The rename is the
+// checkpoint's commit point.
+func writeManifest(dir string, base int, deltas []int, walFloor int) error {
+	var b strings.Builder
+	b.WriteString(manifestMagic)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "base %d\n", base)
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "delta %d\n", d)
+	}
+	fmt.Fprintf(&b, "wal %d\n", walFloor)
+	tmp := filepath.Join(dir, manifestFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
 // acquireDirLock takes the directory's advisory lock, refusing to share a
@@ -192,11 +446,16 @@ func acquireDirLock(dir string) (*os.File, error) {
 	return f, nil
 }
 
-// Checkpoint rotates the WAL onto a fresh segment, writes a snapshot of
-// every table (each under its own whole-table read barrier, so the rest of
-// the store keeps serving), atomically installs it and prunes the old
-// segments. Safe to call online under concurrent readers and writers;
-// concurrent checkpoints serialise.
+// Checkpoint rotates the WAL onto a fresh segment and persists an
+// incremental snapshot generation: only the partitions dirtied since the
+// last checkpoint are re-serialised (each table under its own whole-table
+// read barrier, so the rest of the store keeps serving), the generation is
+// atomically installed by a manifest rename, and the superseded WAL
+// segments are pruned. The first checkpoint — and every checkpoint once
+// the delta chain exceeds Options.DeltaLimit — writes a full base
+// generation instead, compacting the chain. Prune failures never fail the
+// checkpoint; they are counted in the stats. Safe to call online under
+// concurrent readers and writers; concurrent checkpoints serialise.
 func (db *DB) Checkpoint() (CheckpointStats, error) {
 	if db.dir == "" {
 		return CheckpointStats{}, ErrNoDir
@@ -206,7 +465,9 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	start := time.Now()
 
 	// 1. Rotate: every append from here lands in the new segment, so any
-	// record possibly missing from the snapshot below survives the prune.
+	// record possibly missing from the generation below survives the
+	// prune. Rotation also repairs a broken WAL (clean segment; the
+	// generation captures what the torn one could not log).
 	newSeq := db.currentSeq() + 1
 	segPath := filepath.Join(db.dir, segName(newSeq))
 	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -224,60 +485,143 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	}
 	db.setSeq(newSeq)
 
-	// 2. Snapshot to a temp file, fsync, then 3. atomically install it.
-	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
-	sf, err := os.Create(tmp)
+	full := db.snapBase == 0 || db.deltaLimit < 0 || len(db.snapDeltas) >= db.deltaLimit
+
+	// 2. Serialise the generation to a temp directory, fsync, then
+	// 3. atomically install: rename the directory, then commit by
+	// rewriting the manifest (tmp + fsync + rename). The generation
+	// number is consumed at allocation, success or not: a checkpoint that
+	// fails after its rename (e.g. the manifest write) leaves an orphan
+	// snap directory, and reusing the number would make every later
+	// rename fail on it.
+	gen := db.snapGen + 1
+	db.statsMu.Lock()
+	db.snapGen = gen
+	db.statsMu.Unlock()
+	tmpDir := filepath.Join(db.dir, genDirName(gen)+".tmp")
+	_ = os.RemoveAll(tmpDir)
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return CheckpointStats{}, err
+	}
+	sf, err := os.Create(filepath.Join(tmpDir, genDataFile))
 	if err != nil {
 		return CheckpointStats{}, err
 	}
-	if err := db.Snapshot(sf); err != nil {
-		sf.Close()
-		_ = os.Remove(tmp)
-		return CheckpointStats{}, err
+	cuts, nTables, nParts, nRows, err := db.writeGeneration(sf, full)
+	if err == nil {
+		err = sf.Sync()
 	}
-	if err := sf.Sync(); err != nil {
+	if err != nil {
 		sf.Close()
-		_ = os.Remove(tmp)
+		_ = os.RemoveAll(tmpDir)
 		return CheckpointStats{}, err
 	}
 	info, _ := sf.Stat()
 	if err := sf.Close(); err != nil {
+		_ = os.RemoveAll(tmpDir)
 		return CheckpointStats{}, err
 	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
-		return CheckpointStats{}, err
+	// Make the directory entry for tables.dat durable too: fsyncing the
+	// file alone does not persist its name in the generation directory,
+	// and a manifest referencing a generation whose payload entry was
+	// lost to a power cut would make the store unopenable after the WAL
+	// segments below are pruned.
+	syncDir(tmpDir)
+
+	st := CheckpointStats{WALSegment: newSeq, Full: full}
+	compacted := full && db.snapBase != 0
+	if nParts == 0 && !full {
+		// Nothing dirtied since the last checkpoint: no generation to
+		// chain. The rotation still happened (repairing a broken WAL) and
+		// the old segments still hold nothing the chain lacks, so prune.
+		_ = os.RemoveAll(tmpDir)
+		st.DeltaChainLen = len(db.snapDeltas)
+		st.Generation = 0
+	} else {
+		genDir := filepath.Join(db.dir, genDirName(gen))
+		if err := os.Rename(tmpDir, genDir); err != nil {
+			_ = os.RemoveAll(tmpDir)
+			return CheckpointStats{}, err
+		}
+		syncDir(db.dir)
+		base, deltas := db.snapBase, db.snapDeltas
+		if full {
+			base, deltas = gen, nil
+		} else {
+			deltas = append(append([]int{}, deltas...), gen)
+		}
+		// The floor is this checkpoint's rotation seq: every earlier
+		// segment's effects are in the chain being installed.
+		if err := writeManifest(db.dir, base, deltas, newSeq); err != nil {
+			// The orphan generation directory is ignored by recovery (not
+			// in the manifest) and retired by a later compaction.
+			return CheckpointStats{}, err
+		}
+		// Committed: advance the chain and the per-partition clean marks.
+		for _, c := range cuts {
+			c.table.markClean(c.cuts)
+		}
+		db.statsMu.Lock()
+		db.snapBase, db.snapDeltas = base, deltas
+		db.statsMu.Unlock()
+		st.Generation = gen
+		st.DeltaChainLen = len(deltas)
+		st.Tables = nTables
+		st.PartitionsWritten = nParts
+		st.Rows = nRows
+		if info != nil {
+			st.SnapshotBytes = info.Size()
+		}
 	}
-	syncDir(db.dir)
 
 	// 4. Prune: segments before the rotation are fully contained in the
-	// installed snapshot.
-	pruned := 0
+	// installed chain, and a compaction retires the superseded generations
+	// and any legacy snapshot. Best-effort by contract: a file that will
+	// not delete is surfaced in the stats, never a checkpoint failure.
+	pruneFailures := 0
 	if segs, err := walSegments(db.dir); err == nil {
 		for _, seg := range segs {
 			if segSeq(seg) < newSeq {
-				if os.Remove(seg) == nil {
-					pruned++
+				if removeFile(seg) == nil {
+					st.SegmentsPruned++
+				} else {
+					pruneFailures++
 				}
 			}
 		}
 	}
+	if full && st.Generation != 0 {
+		if matches, err := filepath.Glob(filepath.Join(db.dir, "snap-*")); err == nil {
+			for _, m := range matches {
+				if m == filepath.Join(db.dir, genDirName(gen)) {
+					continue
+				}
+				if removeTree(m) != nil {
+					pruneFailures++
+				}
+			}
+		}
+		if legacy := filepath.Join(db.dir, snapshotFile); removeFile(legacy) != nil {
+			if _, serr := os.Stat(legacy); serr == nil {
+				pruneFailures++
+			}
+		}
+	}
+	st.PruneFailures = pruneFailures
+	st.Duration = time.Since(start)
 
-	st := CheckpointStats{
-		Duration:       time.Since(start),
-		SegmentsPruned: pruned,
-		WALSegment:     newSeq,
-	}
-	if info != nil {
-		st.SnapshotBytes = info.Size()
-	}
-	for _, t := range db.tablesSorted() {
-		st.Tables++
-		st.Rows += t.Len()
-	}
 	db.statsMu.Lock()
 	db.stats.checkpoints++
 	db.stats.lastCheckpoint = time.Now()
-	db.stats.snapshotBytes = st.SnapshotBytes
+	if st.Generation != 0 {
+		db.stats.snapshotBytes = st.SnapshotBytes
+		db.stats.lastFull = full
+		db.stats.lastParts = st.PartitionsWritten
+		if compacted {
+			db.stats.compactions++
+		}
+	}
+	db.stats.pruneFailures += pruneFailures
 	db.statsMu.Unlock()
 	return st, nil
 }
@@ -300,19 +644,32 @@ func (db *DB) Close() error {
 	return err
 }
 
-// closeFile flushes, fsyncs and closes the underlying segment file. A
-// broken WAL skips the flush (its tail is already torn) and just releases
-// the file.
+// closeFile flushes, fsyncs and closes the underlying segment file, and
+// stops the background flusher of interval/always policies. A broken WAL
+// skips the flush (its tail is already torn) and just releases the file.
+// The close's own successful fsync advances the durable watermark: a
+// group-commit appender parked while Close ran must see its record as
+// committed — it is durably on disk — not report ErrWALBroken for a
+// write the next Open would replay.
 func (l *WAL) closeFile() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.closed = true
+	l.stopFlusher()
 	var err error
 	if !l.broken {
 		err = l.w.Flush()
 	}
 	if l.f != nil {
-		if serr := l.f.Sync(); err == nil && !l.broken {
+		serr := l.f.Sync()
+		if err == nil && !l.broken {
 			err = serr
+		}
+		if err == nil && serr == nil && !l.broken && l.records > l.durable {
+			l.durable = l.records
+			if l.syncCond != nil {
+				l.syncCond.Broadcast()
+			}
 		}
 		if cerr := l.f.Close(); err == nil {
 			err = cerr
@@ -335,6 +692,8 @@ func (db *DB) Abandon() {
 			db.wal.f = nil
 		}
 		db.wal.broken = true // refuse any straggler appends
+		db.wal.closed = true
+		db.wal.stopFlusher()
 		db.wal.mu.Unlock()
 	}
 	if db.lock != nil {
@@ -355,15 +714,30 @@ func (db *DB) StorageStats() StorageStats {
 		st.Rows += t.Len()
 		st.TablePartitions[t.Name()] = t.Partitions()
 	}
+	st.WALFsyncPolicy = FsyncCheckpoint.String()
 	if db.wal != nil {
 		st.WALRecords = db.wal.Records()
 		st.WALBytes = db.wal.Bytes()
+		st.WALFsyncPolicy = db.wal.Policy().String()
+		st.WALFsyncs, st.WALFsyncBatchedRecords = db.wal.FsyncStats()
 	}
 	db.statsMu.Lock()
 	st.WALSegment = db.walSeq
 	st.Checkpoints = db.stats.checkpoints
 	st.LastCheckpoint = db.stats.lastCheckpoint
 	st.SnapshotBytes = db.stats.snapshotBytes
+	// SnapshotGeneration reports the manifest's view (the chain a recovery
+	// would apply), not the allocation counter — a failed or no-op
+	// checkpoint may consume numbers without chaining a generation.
+	st.SnapshotGeneration = db.snapBase
+	if n := len(db.snapDeltas); n > 0 {
+		st.SnapshotGeneration = db.snapDeltas[n-1]
+	}
+	st.DeltaChainLength = len(db.snapDeltas)
+	st.Compactions = db.stats.compactions
+	st.LastCheckpointFull = db.stats.lastFull
+	st.LastCheckpointPartitions = db.stats.lastParts
+	st.PruneFailures = db.stats.pruneFailures
 	st.RecoveredRecords = db.stats.recoveredRecords
 	st.RecoveredTruncated = db.stats.recoveredTruncated
 	db.statsMu.Unlock()

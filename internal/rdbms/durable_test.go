@@ -388,8 +388,14 @@ func TestCheckpointPrunesSegments(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.SnapshotBytes <= 0 || st.Rows != 10 || st.Tables != 1 {
-			t.Fatalf("checkpoint stats: %+v", st)
+		if k == 0 {
+			// First checkpoint: a full base generation carrying every row.
+			if st.SnapshotBytes <= 0 || st.Rows != 10 || st.Tables != 1 || !st.Full || st.Generation == 0 {
+				t.Fatalf("base checkpoint stats: %+v", st)
+			}
+		} else if st.Generation != 0 || st.PartitionsWritten != 0 {
+			// Nothing dirtied since: incremental checkpoints are no-ops.
+			t.Fatalf("idle checkpoint wrote a generation: %+v", st)
 		}
 	}
 	segs, err := walSegments(dir)

@@ -45,6 +45,17 @@ type partition struct {
 	pkIdx   *hashIdx
 	indexes map[string]index // column name -> secondary index shard
 	rows    int
+
+	// Dirty tracking for incremental checkpoints: epoch is bumped (under
+	// the partition write lock) by every mutation landing in this stripe;
+	// snapEpoch is the epoch value at the moment the last installed
+	// snapshot generation captured the stripe. epoch != snapEpoch means
+	// the stripe has changes no generation holds yet. A new partition is
+	// born dirty (epoch 1, snapEpoch 0) so an empty table still reaches
+	// its first generation — its WAL DDL record is pruned by the
+	// checkpoint.
+	epoch     uint64
+	snapEpoch uint64
 }
 
 // newTable builds a table with the given partition count (<= 0 means
@@ -67,6 +78,7 @@ func newTable(name string, schema *Schema, parts int, wal *WAL) *Table {
 		t.parts[i] = &partition{
 			pkIdx:   newHashIdx(),
 			indexes: make(map[string]index),
+			epoch:   1, // born dirty: see partition.epoch
 		}
 	}
 	return t
@@ -161,6 +173,10 @@ func (t *Table) CreateIndex(col string, kind IndexKind) error {
 			}
 		}
 		p.indexes[col] = idx
+		// DDL dirties the whole table: the index definition lives in the
+		// per-table generation header, and its WAL record is pruned by the
+		// next checkpoint, so every stripe must be re-captured.
+		p.epoch++
 	}
 	t.idxMeta[col] = kind
 	return nil
@@ -236,6 +252,7 @@ func (t *Table) insertLocked(p *partition, pkKey string, r Row, logWAL bool) (in
 		idx.insert(r[ci], slot)
 	}
 	p.rows++
+	p.epoch++
 	return slot, nil
 }
 
@@ -374,6 +391,7 @@ func (t *Table) updateLocked(p *partition, pkKey string, pk Value, r Row, logWAL
 		p.pkIdx.insert(newPK, slot)
 	}
 	p.heap[slot] = r
+	p.epoch++
 	return nil
 }
 
@@ -404,6 +422,7 @@ func (t *Table) moveLocked(src, dst *partition, pk Value, r Row) error {
 	src.heap[slot] = nil
 	src.free = append(src.free, slot)
 	src.rows--
+	src.epoch++
 	if _, err := t.insertLocked(dst, newPK.hashKey(), r, false); err != nil {
 		// Unreachable (dup checked above, no WAL append on this path);
 		// restore src to stay consistent.
@@ -523,6 +542,7 @@ func (t *Table) deleteLocked(p *partition, pkKey string, pk Value, logWAL bool) 
 	p.heap[slot] = nil
 	p.free = append(p.free, slot)
 	p.rows--
+	p.epoch++
 	return nil
 }
 
@@ -662,6 +682,96 @@ func mergeLess(av Value, ai, aid int, bv Value, bi, bid int) bool {
 		return ai < bi
 	}
 	return aid < bid
+}
+
+// partCut records one partition captured by a snapshot generation: its
+// index and the epoch observed under the capture barrier. The epochs are
+// committed to snapEpoch only after the generation's manifest is
+// installed, so a failed checkpoint leaves every stripe dirty.
+type partCut struct {
+	part  int
+	epoch uint64
+}
+
+// markClean commits captured epochs after a generation install: each
+// stripe's snapEpoch advances to the epoch the capture observed. Writes
+// that landed after the capture have already bumped epoch further, so the
+// stripe correctly stays dirty for the next checkpoint.
+func (t *Table) markClean(cuts []partCut) {
+	for _, c := range cuts {
+		p := t.parts[c.part]
+		p.mu.Lock()
+		p.snapEpoch = c.epoch
+		p.mu.Unlock()
+	}
+}
+
+// markAllClean aligns every stripe's snapEpoch with its current epoch —
+// recovery calls it after applying the snapshot generations, before WAL
+// replay, so only stripes the log actually touches start dirty.
+func (t *Table) markAllClean() {
+	for _, p := range t.parts {
+		p.mu.Lock()
+		p.snapEpoch = p.epoch
+		p.mu.Unlock()
+	}
+}
+
+// dirtyParts counts stripes with changes no generation holds yet.
+func (t *Table) dirtyParts() int {
+	n := 0
+	for _, p := range t.parts {
+		p.mu.RLock()
+		if p.epoch != p.snapEpoch {
+			n++
+		}
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// resetPartition replaces stripe pi with an empty one carrying fresh index
+// shards — the delta-apply primitive: a generation's partition payload
+// fully replaces the stripe's previous contents.
+func (t *Table) resetPartition(pi int) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	p := t.parts[pi]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.heap = nil
+	p.free = nil
+	p.rows = 0
+	p.pkIdx = newHashIdx()
+	p.indexes = make(map[string]index, len(t.idxMeta))
+	for col, kind := range t.idxMeta {
+		switch kind {
+		case HashIndex:
+			p.indexes[col] = newHashIdx()
+		case OrderedIndex:
+			t.idxSeed++
+			p.indexes[col] = newSkipIdx(t.idxSeed)
+		}
+	}
+	p.epoch++
+}
+
+// insertIntoPartition inserts a recovered row directly into stripe pi,
+// verifying the row actually routes there — a mismatch means the
+// generation file lies about its partition layout.
+func (t *Table) insertIntoPartition(pi int, r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	k := r[t.schema.PK].hashKey()
+	if got := t.partForKey(k); got != pi {
+		return fmt.Errorf("row for partition %d routes to %d: %w", pi, got, ErrCorrupt)
+	}
+	p := t.parts[pi]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := t.insertLocked(p, k, r, false)
+	return err
 }
 
 // snapshotInto emits the table's live-row count and rows under one

@@ -2,7 +2,7 @@
 // SciLens real-time path (paper §3.3, "Data Collection and Storage"). It
 // provides typed schemas, partitioned lock-striped heap tables, hash and
 // ordered secondary indexes, latch-based transactions with rollback, a
-// write-ahead log with replay, a durable snapshot + WAL-segment lifecycle
+// write-ahead log with replay, a durable incremental-checkpoint lifecycle
 // (Open / Checkpoint / Close), and a small typed query layer
 // (filter/project/order/aggregate).
 //
@@ -12,10 +12,27 @@
 // per-partition skip lists back into one ascending stream under a
 // whole-table read barrier. Durability is opt-in via Open(dir): every
 // mutation (and DDL statement) appends to the current WAL segment before
-// the call returns, Checkpoint rotates the log and installs a consistent
-// snapshot atomically, and recovery replays snapshot-then-segments with
-// torn-tail tolerance — an undecodable record truncates the log at the
-// last good boundary instead of aborting.
+// the call returns.
+//
+// Checkpoints are incremental. Every partition carries a dirty epoch,
+// bumped on each mutation landing in that stripe; Checkpoint serialises
+// only the partitions dirtied since the previous checkpoint into a new
+// numbered snapshot generation (snap-000007/), chained onto the base by a
+// MANIFEST that is atomically rewritten — so checkpoint cost follows the
+// write rate, not the corpus size. When the delta chain exceeds
+// Options.DeltaLimit the checkpoint compacts it into a fresh full base
+// and retires the superseded generations. Recovery applies
+// manifest → base → deltas → WAL segments; WAL replay tolerates a torn
+// tail (truncated at the last good record boundary), but a generation the
+// manifest references must exist and apply completely or Open fails with
+// ErrManifest — committed data is never silently dropped.
+//
+// When the WAL fsyncs is a policy (Options.Fsync): FsyncCheckpoint (the
+// default) fsyncs only at checkpoint/rotation/close, FsyncIntervalPolicy
+// fsyncs on a background cadence bounding the power-loss window, and
+// FsyncAlways group-commits — every append parks on a committed-record
+// watermark while a single flusher goroutine batches all concurrently
+// parked appenders onto one fsync.
 //
 // The engine is a faithful miniature of what the platform needs from its
 // RDBMS: indexed point and range access for the interactive path,

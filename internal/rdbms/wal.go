@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -32,6 +33,65 @@ var ErrCorrupt = errors.New("rdbms: corrupt WAL")
 // condition: rotation starts a clean segment and the snapshot captures the
 // in-memory state the broken segment could not log.
 var ErrWALBroken = errors.New("rdbms: write-ahead log broken (append failed)")
+
+// FsyncPolicy selects when WAL appends are fsynced to stable storage. All
+// policies flush every record to the OS write-ahead (a process crash never
+// loses an acknowledged write); the policy governs the power-loss window.
+type FsyncPolicy int
+
+const (
+	// FsyncCheckpoint (the default) fsyncs only at checkpoint, rotation
+	// and close — the cheapest policy; a power loss can drop everything
+	// since the last checkpoint.
+	FsyncCheckpoint FsyncPolicy = iota
+	// FsyncIntervalPolicy fsyncs on a fixed cadence from one background
+	// flusher goroutine; a power loss drops at most one interval of
+	// acknowledged writes. Appenders never wait.
+	FsyncIntervalPolicy
+	// FsyncAlways gives per-commit durability: every append parks until an
+	// fsync covers its record. A single flusher goroutine batches all
+	// concurrently parked appenders onto one fsync (group commit), so the
+	// cost is one fsync per batch, not one per writer.
+	FsyncAlways
+)
+
+// String renders the policy in the form ParseFsyncPolicy accepts.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncIntervalPolicy:
+		return "interval"
+	case FsyncAlways:
+		return "always"
+	default:
+		return "checkpoint"
+	}
+}
+
+// DefaultFsyncInterval is the flush cadence of FsyncIntervalPolicy when the
+// options do not name one.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// ParseFsyncPolicy parses an operator-facing policy string: "checkpoint",
+// "always", "interval" (default cadence) or "interval:<duration>" (e.g.
+// "interval:25ms").
+func ParseFsyncPolicy(s string) (FsyncPolicy, time.Duration, error) {
+	switch {
+	case s == "" || s == "checkpoint":
+		return FsyncCheckpoint, 0, nil
+	case s == "always":
+		return FsyncAlways, 0, nil
+	case s == "interval":
+		return FsyncIntervalPolicy, DefaultFsyncInterval, nil
+	case strings.HasPrefix(s, "interval:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval:"))
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("rdbms: bad fsync interval %q", s)
+		}
+		return FsyncIntervalPolicy, d, nil
+	default:
+		return 0, 0, fmt.Errorf("rdbms: unknown fsync policy %q (want checkpoint, interval[:dur] or always)", s)
+	}
+}
 
 // walRecord is one log record. Insert carries Row; Update carries Key (the
 // old pk) and Row; Delete carries Key; Commit carries nothing. CreateTable
@@ -64,6 +124,22 @@ type WAL struct {
 	records int
 	bytes   int64
 	broken  bool // an append failed: the tail may be torn, refuse appends
+
+	// Group-commit state (file-backed WALs with a non-checkpoint policy).
+	policy      FsyncPolicy
+	interval    time.Duration
+	durable     int        // record count covered by the last fsync
+	failedBelow int        // records ≤ this were abandoned with a torn tail
+	closed      bool       // closeFile/Abandon ran: flusher must exit
+	syncCond    *sync.Cond // broadcast when durable advances or the WAL breaks
+	flushCond   *sync.Cond // signalled when the always-flusher has work
+	quit        chan struct{}
+	stopOnce    sync.Once
+
+	// Fsync accounting: fsyncs issued by the flusher and the records they
+	// committed — fsyncedRecords/fsyncs is the achieved group-commit batch.
+	fsyncs         uint64
+	fsyncedRecords uint64
 }
 
 // NewWAL wraps a writer (file, buffer, pipe) as a WAL sink.
@@ -71,9 +147,147 @@ func NewWAL(w io.Writer) *WAL {
 	return &WAL{w: bufio.NewWriter(w)}
 }
 
-// NewWALFile wraps an open file as a WAL sink with per-record flushing.
+// NewWALFile wraps an open file as a WAL sink with per-record flushing and
+// the default checkpoint-only fsync policy.
 func NewWALFile(f *os.File) *WAL {
-	return &WAL{w: bufio.NewWriterSize(f, 1<<16), f: f}
+	return NewWALFilePolicy(f, FsyncCheckpoint, 0)
+}
+
+// NewWALFilePolicy wraps an open file as a WAL sink with an explicit fsync
+// policy. FsyncIntervalPolicy and FsyncAlways start one background flusher
+// goroutine; it exits when the WAL is closed.
+func NewWALFilePolicy(f *os.File, policy FsyncPolicy, interval time.Duration) *WAL {
+	l := &WAL{w: bufio.NewWriterSize(f, 1<<16), f: f, policy: policy, interval: interval}
+	l.syncCond = sync.NewCond(&l.mu)
+	l.flushCond = sync.NewCond(&l.mu)
+	switch policy {
+	case FsyncIntervalPolicy:
+		if l.interval <= 0 {
+			l.interval = DefaultFsyncInterval
+		}
+		l.quit = make(chan struct{})
+		go l.intervalFlusher()
+	case FsyncAlways:
+		go l.alwaysFlusher()
+	}
+	return l
+}
+
+// Policy reports the WAL's fsync policy.
+func (l *WAL) Policy() FsyncPolicy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.policy
+}
+
+// FsyncStats reports the flusher's fsync count and the number of records
+// those fsyncs committed (their ratio is the achieved group-commit batch).
+func (l *WAL) FsyncStats() (fsyncs, records uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fsyncs, l.fsyncedRecords
+}
+
+// syncPending commits everything appended so far with one flush+fsync and
+// advances the durable watermark. The caller holds l.mu; the buffered
+// flush runs under it, but the mutex is RELEASED for the disk fsync so
+// appenders keep appending (and parking) while the fsync is in flight —
+// that overlap is what builds group-commit batches, and it keeps every
+// table mutation from stalling behind a disk write. Returns with l.mu
+// held. A rotation or close racing the unlocked fsync supersedes its
+// outcome: the rotate/close path fsyncs (or abandons) the old segment
+// itself and advances the watermark, so a stale handle's result —
+// including an EBADF from the concurrently closed file — is discarded.
+func (l *WAL) syncPending() {
+	target := l.records
+	if err := l.w.Flush(); err != nil {
+		// Parked appenders observe broken and fail their mutations.
+		l.broken = true
+		l.syncCond.Broadcast()
+		return
+	}
+	f := l.f
+	if f == nil {
+		if target > l.durable {
+			l.durable = target
+		}
+		l.syncCond.Broadcast()
+		return
+	}
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	if l.f != f {
+		return // rotated or closed mid-fsync: outcome superseded
+	}
+	if err != nil {
+		l.broken = true
+		l.syncCond.Broadcast()
+		return
+	}
+	l.fsyncs++
+	if target > l.durable {
+		l.fsyncedRecords += uint64(target - l.durable)
+		l.durable = target
+	}
+	l.syncCond.Broadcast()
+}
+
+// alwaysFlusher is the FsyncAlways group-commit loop: it wakes when
+// appenders have parked records, commits everything appended so far with
+// one flush+fsync, and broadcasts the new durable watermark. Appenders
+// that arrive while an fsync is in flight park and ride the next one —
+// N concurrent writers cost one fsync, not N.
+func (l *WAL) alwaysFlusher() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for !l.closed && (l.broken || l.durable >= l.records) {
+			l.flushCond.Wait()
+		}
+		if l.closed {
+			return
+		}
+		l.syncPending()
+	}
+}
+
+// intervalFlusher fsyncs pending records on a fixed cadence, bounding the
+// power-loss window to one interval without any appender ever waiting.
+func (l *WAL) intervalFlusher() {
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-t.C:
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if !l.broken && l.records > l.durable && l.f != nil {
+			l.syncPending()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// stopFlusher shuts the background flusher down (idempotent).
+func (l *WAL) stopFlusher() {
+	l.stopOnce.Do(func() {
+		if l.quit != nil {
+			close(l.quit)
+		}
+	})
+	if l.flushCond != nil {
+		l.flushCond.Broadcast()
+	}
+	if l.syncCond != nil {
+		l.syncCond.Broadcast()
+	}
 }
 
 // Records returns the number of records appended so far.
@@ -139,33 +353,81 @@ func (l *WAL) rotate(f *os.File) (*os.File, error) {
 			}
 		}
 	}
+	if l.broken {
+		// The torn tail is abandoned with the old segment: any group-commit
+		// waiter still parked on it must fail rather than ride a later
+		// watermark — its record exists nowhere the recovery path reads.
+		l.failedBelow = l.records
+	}
 	old := l.f
 	l.f = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
 	l.broken = false
+	// Everything appended so far lives in the old segment (fsynced above)
+	// or was abandoned with the torn tail: the new segment starts with
+	// nothing pending.
+	l.durable = l.records
+	if l.syncCond != nil {
+		l.syncCond.Broadcast()
+	}
 	return old, nil
 }
 
-// append encodes one record and, for file-backed WALs, flushes it to the
-// OS before returning — write-ahead: callers log first and apply the
-// in-memory mutation only on success, so an acknowledged write is always
-// recoverable (group fsync happens at checkpoint/close). A flush failure
-// marks the WAL broken and fails this and every later append until a
-// checkpoint rotates onto a clean segment.
+// append encodes one record and, for file-backed WALs, makes it durable
+// per the fsync policy before returning — write-ahead: callers log first
+// and apply the in-memory mutation only on success, so an acknowledged
+// write is always recoverable. Under FsyncCheckpoint and
+// FsyncIntervalPolicy the record is flushed to the OS (the disk fsync
+// happens at checkpoint or on the flusher cadence); under FsyncAlways the
+// append parks until the flusher's next group fsync covers its record. A
+// flush or fsync failure marks the WAL broken and fails this and every
+// later append until a checkpoint rotates onto a clean segment.
 func (l *WAL) append(rec walRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.broken {
+	if l.broken || (l.closed && l.f == nil) {
+		// Closed WALs refuse appends: acknowledging a write the released
+		// segment file can never hold would trade durability for silence.
 		return ErrWALBroken
 	}
 	n := writeRecord(l.w, rec)
 	l.records++
 	l.bytes += int64(n)
-	if l.f != nil {
-		if err := l.w.Flush(); err != nil {
-			l.broken = true
-			return fmt.Errorf("%w: %v", ErrWALBroken, err)
+	if l.f == nil {
+		return nil
+	}
+	if l.policy == FsyncAlways {
+		// Group commit: park on the committed-record watermark. The
+		// flusher batches every appender parked here onto one fsync. The
+		// failedBelow check comes first: a broken-WAL rotation abandons the
+		// torn tail, and a record abandoned there must fail even though the
+		// rotation advances the watermark past it.
+		//
+		// Callers append while holding the row's partition write lock, so
+		// under this policy a stripe's mutation becomes visible to readers
+		// only once it is durable — a reader can never observe a row that
+		// a power loss could retract. The cost is that reads of a stripe
+		// with an in-flight commit wait out the fsync; releasing the
+		// stripe lock before parking (visible-before-durable) is a
+		// deliberate non-goal here.
+		lsn := l.records
+		l.flushCond.Signal()
+		for {
+			if lsn <= l.failedBelow {
+				return ErrWALBroken
+			}
+			if l.durable >= lsn {
+				return nil
+			}
+			if l.broken || l.closed {
+				return ErrWALBroken
+			}
+			l.syncCond.Wait()
 		}
+	}
+	if err := l.w.Flush(); err != nil {
+		l.broken = true
+		return fmt.Errorf("%w: %v", ErrWALBroken, err)
 	}
 	return nil
 }

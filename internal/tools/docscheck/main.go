@@ -1,0 +1,147 @@
+// Command docscheck is the CI docs-consistency gate. It fails when
+//
+//  1. an HTTP route registered in internal/api (a `mux.HandleFunc("METHOD
+//     /api/...")` call) is not documented in docs/API.md, or
+//  2. a relative markdown link in docs/ (or a root markdown file) points
+//     at a file that does not exist.
+//
+// Run from the repository root:
+//
+//	go run ./internal/tools/docscheck
+//
+// The tool is deliberately dumb — a regexp over the registration strings
+// and the link targets — so it cannot drift from the code the way a
+// hand-maintained route list would.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// routeRe matches mux registrations like:
+//
+//	s.mux.HandleFunc("GET /api/assess", ...)
+var routeRe = regexp.MustCompile(`HandleFunc\("(GET|POST|PUT|DELETE|PATCH) (/api/[^"]*)"`)
+
+// linkRe matches inline markdown links [text](target).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	var problems []string
+
+	routes, err := collectRoutes("internal/api")
+	if err != nil {
+		fatal(err)
+	}
+	if len(routes) == 0 {
+		fatal(fmt.Errorf("no /api routes found under internal/api — is docscheck running from the repo root?"))
+	}
+	apiDoc, err := os.ReadFile(filepath.Join("docs", "API.md"))
+	if err != nil {
+		fatal(fmt.Errorf("docs/API.md: %w", err))
+	}
+	for _, route := range routes {
+		if !strings.Contains(string(apiDoc), route) {
+			problems = append(problems, fmt.Sprintf("route %q registered in internal/api but absent from docs/API.md", route))
+		}
+	}
+
+	mds, err := markdownFiles()
+	if err != nil {
+		fatal(err)
+	}
+	for _, md := range mds {
+		broken, err := checkLinks(md)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, broken...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d routes documented, %d markdown files link-checked\n", len(routes), len(mds))
+}
+
+// collectRoutes scans the package's Go sources for route registrations.
+func collectRoutes(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range routeRe.FindAllStringSubmatch(string(src), -1) {
+			set[m[1]+" "+m[2]] = true
+		}
+	}
+	routes := make([]string, 0, len(set))
+	for r := range set {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	return routes, nil
+}
+
+// markdownFiles lists docs/*.md plus the root-level markdown files.
+func markdownFiles() ([]string, error) {
+	files, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	root, err := filepath.Glob("*.md")
+	if err != nil {
+		return nil, err
+	}
+	return append(files, root...), nil
+}
+
+// checkLinks verifies every relative link target in one markdown file
+// resolves to an existing file or directory. External links (scheme://),
+// pure anchors (#...) and mailto: are skipped; a #fragment on a relative
+// target is stripped before the existence check.
+func checkLinks(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(path), target)
+		if _, err := os.Stat(resolved); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q (resolved %s)", path, m[1], resolved))
+		}
+	}
+	return broken, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "docscheck:", err)
+	os.Exit(1)
+}
