@@ -17,6 +17,7 @@
 //	scilens-ingest [-seed N] [-days N] [-scale F] [-consumers N] [-queue N]
 //	               [-shards N] [-batch N] [-sync] [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
+//	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
 package main
 
 import (
@@ -43,16 +44,18 @@ func main() {
 		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
 		fsync      = flag.String("fsync", "checkpoint", "WAL fsync policy: checkpoint, interval[:dur] or always")
 		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "self-driving checkpoint cadence during the run (0 = only the closing checkpoint)")
+		ckptBytes  = flag.Int64("checkpoint-wal-bytes", 0, "checkpoint once the WAL grows this many bytes during the run (0 = no byte trigger)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions, *fsync, *deltaLimit); err != nil {
+	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions, *fsync, *deltaLimit, *ckptEvery, *ckptBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "scilens-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int, fsync string, deltaLimit int) (err error) {
+func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int, fsync string, deltaLimit int, ckptEvery time.Duration, ckptBytes int64) (err error) {
 	world := scilens.GenerateWorld(scilens.WorldConfig{
 		Seed: seed, Days: days, RateScale: scale, ReactionScale: reactions,
 	})
@@ -68,6 +71,8 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 		StoragePartitions:    partitions,
 		WALFsyncPolicy:       fsync,
 		CheckpointDeltaLimit: deltaLimit,
+		CheckpointInterval:   ckptEvery,
+		CheckpointWALBytes:   ckptBytes,
 	})
 	if err != nil {
 		return err

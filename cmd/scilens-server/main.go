@@ -13,6 +13,7 @@
 //	scilens-server [-addr :8080] [-seed N] [-days N] [-scale F]
 //	               [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
+//	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
 //
 // Endpoints:
 //
@@ -53,6 +54,8 @@ func main() {
 		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
 		fsync      = flag.String("fsync", "checkpoint", "WAL fsync policy: checkpoint, interval[:dur] or always")
 		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "self-driving checkpoint cadence for durable stores (0 = no timer)")
+		ckptBytes  = flag.Int64("checkpoint-wal-bytes", 8<<20, "checkpoint once the WAL grows this many bytes (0 = no byte trigger)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,8 @@ func main() {
 			StoragePartitions:    *partitions,
 			WALFsyncPolicy:       *fsync,
 			CheckpointDeltaLimit: *deltaLimit,
+			CheckpointInterval:   *ckptEvery,
+			CheckpointWALBytes:   *ckptBytes,
 		},
 	})
 	if err != nil {
@@ -77,6 +82,9 @@ func main() {
 			st.Durable, st.Rows, st.WALRecords, st.WALFsyncPolicy,
 			st.SnapshotGeneration, st.DeltaChainLength,
 			st.RecoveredRecords, st.RecoveredTruncated)
+	}
+	if st.Durable && (*ckptEvery > 0 || *ckptBytes > 0) {
+		log.Printf("checkpoint scheduler: interval=%v wal-bytes=%d", *ckptEvery, *ckptBytes)
 	}
 	log.Printf("ingested %d articles, %d reactions in %v",
 		stats.Postings, stats.Reactions, time.Since(start).Round(time.Millisecond))

@@ -116,12 +116,22 @@ func (s *AssessmentService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// handleHealth reports liveness plus the storage state machine. status
+// mirrors core.StorageHealth.State: "ok" answers 200; "degraded" and
+// "recovering" answer 503 Service Unavailable — writes are suspended, so
+// load balancers should rotate the writer role away — while the body
+// still carries the full health payload for operators.
 func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request) {
 	stats := s.platform.Stats()
 	ss := s.platform.StreamStats()
 	st := s.platform.StorageStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
+	sh := s.platform.StorageHealth()
+	code := http.StatusOK
+	if sh.State != core.StorageOK {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":       sh.State,
 		"postings":     stats.Postings,
 		"reactions":    stats.Reactions,
 		"queue_depth":  ss.QueueDepth,
@@ -142,6 +152,7 @@ func (s *AssessmentService) handleHealth(w http.ResponseWriter, r *http.Request)
 			"delta_chain_length":  st.DeltaChainLength,
 			"prune_failures":      st.PruneFailures,
 		},
+		"storage_health": sh,
 	})
 }
 
@@ -657,6 +668,10 @@ func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.platform.ReindexCorpus(pool, opts...)
 	if err != nil {
+		if errors.Is(err, core.ErrDegraded) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -698,6 +713,12 @@ func (s *AdminService) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 		if errors.Is(err, rdbms.ErrNoDir) {
 			writeError(w, http.StatusConflict,
 				errors.New("platform has no data directory (start with Config.DataDir / -data-dir)"))
+			return
+		}
+		if errors.Is(err, core.ErrDegraded) {
+			// The recovery supervisor owns checkpointing while degraded
+			// (the call above nudged it); the operator just waits.
+			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err)

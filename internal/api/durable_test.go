@@ -149,6 +149,21 @@ var healthStorageFields = []string{
 	"snapshot_generation", "delta_chain_length", "prune_failures",
 }
 
+// storageHealthFields is the storage state machine served under
+// "storage_health" by both GET /api/stats and GET /api/health
+// (core.StorageHealth).
+var storageHealthFields = []string{
+	"state", "since", "last_fault", "faults",
+	"recovery_attempts", "recoveries", "scheduler",
+}
+
+// storageSchedulerFields is the nested checkpoint-scheduler snapshot
+// (core.StorageSchedulerStats).
+var storageSchedulerFields = []string{
+	"enabled", "interval", "wal_byte_limit", "runs", "interval_runs",
+	"byte_runs", "skipped", "failures", "last_run", "last_error",
+}
+
 // TestStorageStatsJSONShape is the golden-field pin: the exact key set of
 // the storage payloads served by /api/stats and /api/health must match the
 // documented lists, so docs/API.md and the code cannot drift silently.
@@ -191,6 +206,23 @@ func TestStorageStatsJSONShape(t *testing.T) {
 	if storage["snapshot_generation"].(float64) <= 0 {
 		t.Errorf("snapshot_generation after checkpoint: %v", storage["snapshot_generation"])
 	}
+	assertHealthShape := func(name string, m map[string]any) {
+		t.Helper()
+		sh, ok := m["storage_health"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: no storage_health section: %v", name, m)
+		}
+		assertKeys(name+" storage_health", sh, storageHealthFields)
+		sched, ok := sh["scheduler"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: no scheduler section: %v", name, sh)
+		}
+		assertKeys(name+" scheduler", sched, storageSchedulerFields)
+		if sh["state"] != core.StorageOK {
+			t.Errorf("%s: healthy platform reports state %v", name, sh["state"])
+		}
+	}
+	assertHealthShape("/api/stats", payload)
 
 	rec, health := doJSON(t, srv, "GET", "/api/health", nil)
 	if rec.Code != http.StatusOK {
@@ -201,6 +233,7 @@ func TestStorageStatsJSONShape(t *testing.T) {
 		t.Fatalf("no health storage section: %v", health)
 	}
 	assertKeys("/api/health storage", hs, healthStorageFields)
+	assertHealthShape("/api/health", health)
 }
 
 // TestReindexEndpointIncremental: the endpoint reports skipped rows by

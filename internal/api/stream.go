@@ -98,7 +98,9 @@ func (s *IngestService) handleIngest(w http.ResponseWriter, r *http.Request) {
 				Dropped:  len(req.Events) - accepted,
 			})
 			return
-		case errors.Is(err, stream.ErrClosed):
+		case errors.Is(err, stream.ErrClosed), errors.Is(err, core.ErrDegraded):
+			// Closed pipeline or degraded read-only storage: the writer
+			// role is unavailable, not the request malformed.
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		default:
@@ -123,6 +125,10 @@ func (s *IngestService) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.platform.ReplayDeadLetters(req.Wait)
 	if err != nil {
+		if errors.Is(err, core.ErrDegraded) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -189,5 +195,6 @@ func (s *IngestService) handleStats(w http.ResponseWriter, r *http.Request) {
 		"orphan_reactions": stats.OrphanReactions,
 		"pipeline":         s.platform.StreamStats(),
 		"storage":          s.platform.StorageStats(),
+		"storage_health":   s.platform.StorageHealth(),
 	})
 }

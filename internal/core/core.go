@@ -22,6 +22,7 @@ import (
 	"repro/internal/indicators"
 	"repro/internal/outlets"
 	"repro/internal/rdbms"
+	"repro/internal/rdbms/vfs"
 	"repro/internal/reviews"
 	"repro/internal/stream"
 	"repro/internal/synth"
@@ -109,6 +110,20 @@ type Platform struct {
 	// dataDir is the durable home of the store ("" = in-memory platform).
 	dataDir string
 	closed  atomic.Bool
+
+	// Storage health machine, self-healing supervisor and checkpoint
+	// scheduler (see health.go). degraded is the write-path fast gate;
+	// health and the scheduler baselines are guarded by healthMu.
+	degraded atomic.Bool
+	healthMu sync.Mutex
+	health   storageHealth
+	sup      *supervisor
+
+	recoveryBackoff    time.Duration
+	recoveryMaxBackoff time.Duration
+	schedInterval      time.Duration
+	schedWALBytes      int64
+	schedLoadLimit     int
 }
 
 // IngestStats counts ingestion outcomes.
@@ -183,6 +198,23 @@ type Config struct {
 	// every write waits for an fsync, concurrent writers batched onto
 	// one). Ignored for in-memory platforms.
 	WALFsyncPolicy string
+	// CheckpointInterval enables the built-in checkpoint scheduler on a
+	// durable platform: a checkpoint runs every interval (default 0 = no
+	// timer; see health.go for the load/degraded back-off rules).
+	CheckpointInterval time.Duration
+	// CheckpointWALBytes triggers a scheduled checkpoint once the WAL has
+	// grown by this many bytes since the last checkpoint (default 0 = no
+	// byte trigger). Either trigger alone enables the scheduler.
+	CheckpointWALBytes int64
+	// RecoveryBackoff is the degraded-mode supervisor's first retry delay
+	// (default 100ms), doubling per failed recovery checkpoint up to
+	// RecoveryMaxBackoff (default 5s), with jitter.
+	RecoveryBackoff    time.Duration
+	RecoveryMaxBackoff time.Duration
+	// StorageFS injects the filesystem the durable store runs on (default
+	// the real OS). Fault-injection tests substitute vfs.NewMem /
+	// vfs.NewFault to break I/O deterministically; ignored in-memory.
+	StorageFS vfs.FS
 
 	// DeadLetterMaxCount bounds the dead_letters table; when an insert
 	// pushes the backlog above the bound, the oldest rows are evicted
@@ -232,6 +264,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 			Fsync:         fsync,
 			FsyncInterval: interval,
 			DeltaLimit:    cfg.CheckpointDeltaLimit,
+			FS:            cfg.StorageFS,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open data dir: %w", err)
@@ -327,6 +360,11 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Process:       p.processBatch,
 		OnDead:        p.writeDeadLetter,
 	})
+	p.health.state = StorageOK
+	p.health.since = cfg.Clock()
+	if cfg.DataDir != "" {
+		p.startStorageSupervisor(cfg)
+	}
 	return p, nil
 }
 
@@ -521,12 +559,21 @@ func (p *Platform) IngestWorld(w *synth.World, members int) (int, error) {
 	return n, err
 }
 
-// IngestEvent processes one decoded firehose event synchronously.
+// IngestEvent processes one decoded firehose event synchronously. While
+// the platform is in degraded read-only mode it fails fast with
+// ErrDegraded; a broken-WAL error from the store latches that mode.
 func (p *Platform) IngestEvent(ev *synth.Event) error {
-	if ev.Type == synth.EventTypePosting {
-		return p.ingestPosting(ev)
+	if p.degraded.Load() {
+		return ErrDegraded
 	}
-	return p.ingestReaction(ev)
+	var err error
+	if ev.Type == synth.EventTypePosting {
+		err = p.ingestPosting(ev)
+	} else {
+		err = p.ingestReaction(ev)
+	}
+	p.noteStorageFault(err)
+	return err
 }
 
 // ingestPosting extracts and evaluates the article, then stores it.

@@ -98,6 +98,9 @@ func ReindexForce() ReindexOption { return func(c *reindexCfg) { c.force = true 
 // aggregates are reconciled with per-article deltas rather than absolute
 // writes, so reactions ingested while the job runs are preserved.
 func (p *Platform) ReindexCorpus(pool *compute.Pool, opts ...ReindexOption) (*ReindexReport, error) {
+	if p.degraded.Load() {
+		return nil, ErrDegraded
+	}
 	if pool == nil {
 		pool = p.Compute
 	}
@@ -109,12 +112,14 @@ func (p *Platform) ReindexCorpus(pool *compute.Pool, opts ...ReindexOption) (*Re
 	rep := &ReindexReport{}
 
 	if err := p.reindexArticles(pool, cfg, rep); err != nil {
+		p.noteStorageFault(err)
 		return nil, err
 	}
 	if secs := time.Since(started).Seconds(); secs > 0 {
 		rep.RowsPerSec = float64(rep.Articles) / secs
 	}
 	if err := p.reindexReplies(pool, rep); err != nil {
+		p.noteStorageFault(err)
 		return nil, err
 	}
 

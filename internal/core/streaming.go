@@ -103,6 +103,7 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 		}
 		ev := &events[i]
 		if err := p.applyPosting(ev, reports[i], gen); err != nil {
+			p.noteStorageFault(err)
 			outcome := stream.OutcomeRetry
 			if errors.Is(err, outlets.ErrNotFound) {
 				outcome = stream.OutcomeDead // no registry entry will appear on retry
@@ -171,6 +172,7 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 				return agg, nil
 			})
 		}()
+		p.noteStorageFault(err)
 		for _, i := range g.idx {
 			if err != nil {
 				results[i] = stream.Result{Outcome: stream.OutcomeRetry, Err: err}
@@ -234,6 +236,9 @@ func (p *Platform) publishAssessment(ev *synth.Event, report *indicators.Report)
 // pipeline. block selects the backpressure mode: true parks the caller
 // while the target shard is full, false sheds with stream.ErrFull.
 func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
+	if p.degraded.Load() {
+		return ErrDegraded
+	}
 	payload, err := ev.Encode()
 	if err != nil {
 		return err
@@ -248,6 +253,9 @@ func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
 // caller abandoned mid-backpressure (an HTTP client that gave up) unblocks
 // with the context error instead of parking a goroutine on the full shard.
 func (p *Platform) StreamEventCtx(ctx context.Context, ev *synth.Event) error {
+	if p.degraded.Load() {
+		return ErrDegraded
+	}
 	payload, err := ev.Encode()
 	if err != nil {
 		return err
@@ -270,14 +278,18 @@ func (p *Platform) writeDeadLetter(env stream.Envelope, cause error) {
 		reason = cause.Error()
 	}
 	id := fmt.Sprintf("dl-%012d", p.dlSeq.Add(1))
-	_ = p.dead.Upsert(rdbms.Row{
+	if err := p.dead.Upsert(rdbms.Row{
 		rdbms.String(id),
 		rdbms.String(env.Key),
 		rdbms.String(string(env.Payload)),
 		rdbms.String(reason),
 		rdbms.Int(int64(env.Attempt)),
 		rdbms.Time(p.Clock()),
-	})
+	}); err != nil {
+		// Best-effort by contract, but a broken WAL here must still latch
+		// degraded mode — it means every write is failing.
+		p.noteStorageFault(err)
+	}
 	p.enforceDeadLetterBounds()
 }
 
@@ -373,6 +385,9 @@ func (p *Platform) DeadLetters() []DeadLetter {
 // so a replay can complete under sustained concurrent ingest traffic.
 // It returns the number of replayed events.
 func (p *Platform) ReplayDeadLetters(wait bool) (int, error) {
+	if p.degraded.Load() {
+		return 0, ErrDegraded
+	}
 	letters := p.DeadLetters()
 	replayed := 0
 	var done sync.WaitGroup
@@ -457,8 +472,16 @@ func (p *Platform) StreamStats() StreamStats {
 // prune — callable under concurrent assess/ingest/reindex traffic (each
 // table is serialised under its own read barrier while the rest keep
 // serving). In-memory platforms (no Config.DataDir) return rdbms.ErrNoDir.
+// While degraded it returns ErrDegraded and nudges the recovery
+// supervisor instead — the supervisor owns checkpointing until the store
+// heals (see health.go). A checkpoint failure degrades the platform; a
+// success heals it and resets the scheduler's baselines.
 func (p *Platform) Checkpoint() (rdbms.CheckpointStats, error) {
-	return p.DB.Checkpoint()
+	if p.degraded.Load() {
+		p.kickRecovery()
+		return rdbms.CheckpointStats{}, ErrDegraded
+	}
+	return p.runCheckpoint()
 }
 
 // StorageStats reports the store's partition layout, WAL volume and
@@ -470,9 +493,11 @@ func (p *Platform) StorageStats() rdbms.StorageStats {
 // Close drains the platform gracefully: the ingestion pipeline processes
 // everything accepted so far (including pending retries), the live feed
 // closes its subscribers, and the broker wakes any blocked producers and
-// consumers. Durable platforms then write a final checkpoint and release
-// the store. Safe to call more than once.
+// consumers. Durable platforms stop the self-healing supervisor first
+// (so it cannot race the final checkpoint), then write that checkpoint
+// and release the store. Safe to call more than once.
 func (p *Platform) Close() error {
+	p.stopStorageSupervisor()
 	p.Pipeline.Close()
 	p.Bus.Close()
 	p.Broker.Close()

@@ -2,10 +2,12 @@ package rdbms
 
 import (
 	"fmt"
-	"os"
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/rdbms/vfs"
 )
 
 // Options configures a database.
@@ -28,6 +30,10 @@ type Options struct {
 	// base generation instead and prunes the old chain (default
 	// DefaultDeltaLimit; negative forces every checkpoint to be full).
 	DeltaLimit int
+	// FS is the filesystem durable databases perform their I/O through
+	// (default the real OS). Tests substitute vfs.Mem / vfs.Fault to
+	// exercise crash and fault paths without a disk.
+	FS vfs.FS
 }
 
 // DefaultDeltaLimit is the delta-chain bound when Options do not name one:
@@ -46,7 +52,8 @@ type DB struct {
 
 	// Durable state (zero when the DB is purely in-memory).
 	dir     string
-	lock    *os.File // flock on <dir>/LOCK, held for the DB's lifetime
+	fs      vfs.FS    // filesystem all durable I/O goes through
+	lock    io.Closer // flock on <dir>/LOCK, held for the DB's lifetime
 	walSeq  int
 	ckptMu  sync.Mutex // serialises checkpoints
 	statsMu sync.Mutex
@@ -58,6 +65,15 @@ type DB struct {
 	snapBase   int   // base generation number (0 = none yet)
 	snapDeltas []int // delta generation numbers, chain order
 	snapGen    int   // highest generation number ever allocated
+
+	// Drop bookkeeping (guarded by statsMu): dropEpoch counts DropTable
+	// calls, handledDropEpoch the drops captured by a FULL generation.
+	// While they differ, a delta checkpoint could let the WAL floor pass
+	// the drop record while chained generations still carry the dropped
+	// table — recovery would resurrect it — so checkpoints compact until
+	// the drop is folded into a base.
+	dropEpoch        int
+	handledDropEpoch int
 }
 
 // NewDB creates an empty in-memory database without a WAL.
@@ -123,14 +139,24 @@ func (db *DB) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes the named table.
+// DropTable removes the named table. The drop is WAL-logged write-ahead
+// like every other DDL statement, so a recovery replaying the log does not
+// resurrect the table.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("table %q: %w", name, ErrNotFound)
 	}
+	if db.wal != nil {
+		if err := db.wal.append(walRecord{Op: walDropTable, Table: name}); err != nil {
+			return err
+		}
+	}
 	delete(db.tables, name)
+	db.statsMu.Lock()
+	db.dropEpoch++
+	db.statsMu.Unlock()
 	return nil
 }
 

@@ -5,13 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
+
+	"repro/internal/rdbms/vfs"
 )
 
 // Durable lifecycle: a database opened with Open lives in a directory —
@@ -69,8 +70,8 @@ const lockFile = "LOCK"
 // can inject removal failures (prune is best-effort by contract: a
 // leftover file must never fail an otherwise-successful checkpoint).
 var (
-	removeFile = os.Remove
-	removeTree = os.RemoveAll
+	removeFile = func(fsys vfs.FS, path string) error { return fsys.Remove(path) }
+	removeTree = func(fsys vfs.FS, path string) error { return fsys.RemoveAll(path) }
 )
 
 // durableStats is the checkpoint/recovery bookkeeping behind StorageStats.
@@ -180,10 +181,14 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	if dir == "" {
 		return nil, ErrNoDir
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := o.FS
+	if fsys == nil {
+		fsys = vfs.NewOS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	lock, err := acquireDirLock(dir)
+	lock, err := acquireDirLock(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -198,26 +203,26 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	// apply completely — failing loudly here beats silently dropping
 	// committed partitions. Directories without a manifest fall back to
 	// the legacy single-file snapshot.
-	base, deltas, walFloor, err := readManifest(dir)
+	base, deltas, walFloor, err := readManifest(fsys, dir)
 	if err != nil {
 		return fail(err)
 	}
 	if base > 0 {
 		db = NewDBWithOptions(Options{Partitions: o.Partitions})
 		for _, gen := range append([]int{base}, deltas...) {
-			if err := applyGenerationFile(db, filepath.Join(dir, genDirName(gen), genDataFile)); err != nil {
+			if err := applyGenerationFile(db, fsys, filepath.Join(dir, genDirName(gen), genDataFile)); err != nil {
 				return fail(fmt.Errorf("%w: generation %d: %v", ErrManifest, gen, err))
 			}
 		}
 	} else {
 		snapPath := filepath.Join(dir, snapshotFile)
-		if f, err := os.Open(snapPath); err == nil {
+		if f, err := fsys.OpenRead(snapPath); err == nil {
 			db, err = Restore(f)
 			f.Close()
 			if err != nil {
 				return fail(fmt.Errorf("restore %s: %w", snapPath, err))
 			}
-		} else if !os.IsNotExist(err) {
+		} else if !errors.Is(err, fs.ErrNotExist) {
 			return fail(err)
 		}
 	}
@@ -233,7 +238,7 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 		t.markAllClean()
 	}
 
-	segs, err := walSegments(dir)
+	segs, err := walSegments(fsys, dir)
 	if err != nil {
 		return fail(err)
 	}
@@ -244,7 +249,7 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	live := segs[:0]
 	for _, seg := range segs {
 		if segSeq(seg) < walFloor {
-			_ = os.Remove(seg)
+			_ = fsys.Remove(seg)
 			continue
 		}
 		live = append(live, seg)
@@ -252,7 +257,7 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	segs = live
 	recovered, truncated := 0, false
 	for i, seg := range segs {
-		n, trunc, err := replaySegment(db, seg)
+		n, trunc, err := replaySegment(db, fsys, seg)
 		recovered += n
 		if err != nil {
 			return fail(fmt.Errorf("replay %s: %w", seg, err))
@@ -262,14 +267,14 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 			// Records in later segments follow a gap; applying them would
 			// fabricate a state no run ever produced. Drop them.
 			for _, later := range segs[i+1:] {
-				_ = os.Remove(later)
+				_ = fsys.Remove(later)
 			}
 			segs = segs[:i+1]
 			break
 		}
 	}
 
-	var f *os.File
+	var f vfs.File
 	// A fresh segment must start at or above the floor, or the next open
 	// would reap it as superseded.
 	seq := 1
@@ -279,15 +284,22 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
 		seq = segSeq(last)
-		f, err = os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err = fsys.OpenAppend(last)
 	} else {
-		f, err = os.OpenFile(filepath.Join(dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err = fsys.CreateExclusive(filepath.Join(dir, segName(seq)))
+		if err == nil {
+			// Make the fresh segment's directory entry durable: its first
+			// fsync commits its content, but the entry itself lives in the
+			// directory.
+			_ = fsys.SyncDir(dir)
+		}
 	}
 	if err != nil {
 		return fail(err)
 	}
 	db.attachWAL(NewWALFilePolicy(f, o.Fsync, o.FsyncInterval))
 	db.dir = dir
+	db.fs = fsys
 	db.lock = lock
 	db.walSeq = seq
 	db.deltaLimit = o.DeltaLimit
@@ -296,15 +308,15 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	}
 	db.snapBase = base
 	db.snapDeltas = deltas
-	db.snapGen = maxGeneration(dir, base, deltas)
+	db.snapGen = maxGeneration(fsys, dir, base, deltas)
 	db.stats.recoveredRecords = recovered
 	db.stats.recoveredTruncated = truncated
 	return db, nil
 }
 
 // applyGenerationFile applies one generation payload from disk.
-func applyGenerationFile(db *DB, path string) error {
-	f, err := os.Open(path)
+func applyGenerationFile(db *DB, fsys vfs.FS, path string) error {
+	f, err := fsys.OpenRead(path)
 	if err != nil {
 		return err
 	}
@@ -330,14 +342,14 @@ func genDirSeq(path string) int {
 // maxGeneration returns the highest generation number in use — referenced
 // by the manifest or present on disk (an orphan directory from a crash
 // between generation rename and manifest install must not be reused).
-func maxGeneration(dir string, base int, deltas []int) int {
+func maxGeneration(fsys vfs.FS, dir string, base int, deltas []int) int {
 	maxGen := base
 	for _, d := range deltas {
 		if d > maxGen {
 			maxGen = d
 		}
 	}
-	if matches, err := filepath.Glob(filepath.Join(dir, "snap-*")); err == nil {
+	if matches, err := fsys.Glob(filepath.Join(dir, "snap-*")); err == nil {
 		for _, m := range matches {
 			if n := genDirSeq(m); n > maxGen {
 				maxGen = n
@@ -358,9 +370,9 @@ const manifestMagic = "SLMANIFEST1"
 // resurrect deleted rows). A missing manifest yields base 0 (legacy or
 // fresh directory); a malformed one is an error — improvising a chain
 // risks silently dropping data.
-func readManifest(dir string) (base int, deltas []int, walFloor int, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
-	if os.IsNotExist(err) {
+func readManifest(fsys vfs.FS, dir string) (base int, deltas []int, walFloor int, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return 0, nil, 0, nil
 	}
 	if err != nil {
@@ -396,7 +408,7 @@ func readManifest(dir string) (base int, deltas []int, walFloor int, err error) 
 // writeManifest atomically installs the generation chain and the WAL
 // floor: tmp + fsync + rename + directory sync. The rename is the
 // checkpoint's commit point.
-func writeManifest(dir string, base int, deltas []int, walFloor int) error {
+func writeManifest(fsys vfs.FS, dir string, base int, deltas []int, walFloor int) error {
 	var b strings.Builder
 	b.WriteString(manifestMagic)
 	b.WriteByte('\n')
@@ -406,44 +418,43 @@ func writeManifest(dir string, base int, deltas []int, walFloor int) error {
 	}
 	fmt.Fprintf(&b, "wal %d\n", walFloor)
 	tmp := filepath.Join(dir, manifestFile+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(b.String()); err != nil {
+	if _, err := io.WriteString(f, b.String()); err != nil {
 		f.Close()
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
-		_ = os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
+	_ = fsys.SyncDir(dir)
 	return nil
 }
 
 // acquireDirLock takes the directory's advisory lock, refusing to share a
 // data directory between live processes.
-func acquireDirLock(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+func acquireDirLock(fsys vfs.FS, dir string) (io.Closer, error) {
+	c, err := fsys.Lock(filepath.Join(dir, lockFile))
+	if errors.Is(err, vfs.ErrLockHeld) {
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
-	}
-	return f, nil
+	return c, nil
 }
 
 // Checkpoint rotates the WAL onto a fresh segment and persists an
@@ -470,22 +481,35 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	// generation captures what the torn one could not log).
 	newSeq := db.currentSeq() + 1
 	segPath := filepath.Join(db.dir, segName(newSeq))
-	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := db.fs.CreateExclusive(segPath)
 	if err != nil {
 		return CheckpointStats{}, err
 	}
 	old, err := db.wal.rotate(f)
 	if err != nil {
 		f.Close()
-		_ = os.Remove(segPath)
+		_ = db.fs.Remove(segPath)
 		return CheckpointStats{}, err
 	}
 	if old != nil {
 		_ = old.Close()
 	}
 	db.setSeq(newSeq)
+	// The new segment's directory entry must survive a power cut along
+	// with the records its fsyncs will commit.
+	_ = db.fs.SyncDir(db.dir)
 
 	full := db.snapBase == 0 || db.deltaLimit < 0 || len(db.snapDeltas) >= db.deltaLimit
+	// A dropped table not yet folded into a base generation forces a
+	// compaction: a delta would let the WAL floor pass the drop record
+	// while an older chained generation still carries the table, and the
+	// next recovery would resurrect it.
+	db.statsMu.Lock()
+	dropsSeen := db.dropEpoch
+	if dropsSeen > db.handledDropEpoch {
+		full = true
+	}
+	db.statsMu.Unlock()
 
 	// 2. Serialise the generation to a temp directory, fsync, then
 	// 3. atomically install: rename the directory, then commit by
@@ -499,11 +523,11 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	db.snapGen = gen
 	db.statsMu.Unlock()
 	tmpDir := filepath.Join(db.dir, genDirName(gen)+".tmp")
-	_ = os.RemoveAll(tmpDir)
-	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+	_ = db.fs.RemoveAll(tmpDir)
+	if err := db.fs.MkdirAll(tmpDir); err != nil {
 		return CheckpointStats{}, err
 	}
-	sf, err := os.Create(filepath.Join(tmpDir, genDataFile))
+	sf, err := db.fs.Create(filepath.Join(tmpDir, genDataFile))
 	if err != nil {
 		return CheckpointStats{}, err
 	}
@@ -513,12 +537,12 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	}
 	if err != nil {
 		sf.Close()
-		_ = os.RemoveAll(tmpDir)
+		_ = db.fs.RemoveAll(tmpDir)
 		return CheckpointStats{}, err
 	}
 	info, _ := sf.Stat()
 	if err := sf.Close(); err != nil {
-		_ = os.RemoveAll(tmpDir)
+		_ = db.fs.RemoveAll(tmpDir)
 		return CheckpointStats{}, err
 	}
 	// Make the directory entry for tables.dat durable too: fsyncing the
@@ -526,7 +550,7 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	// and a manifest referencing a generation whose payload entry was
 	// lost to a power cut would make the store unopenable after the WAL
 	// segments below are pruned.
-	syncDir(tmpDir)
+	_ = db.fs.SyncDir(tmpDir)
 
 	st := CheckpointStats{WALSegment: newSeq, Full: full}
 	compacted := full && db.snapBase != 0
@@ -534,16 +558,16 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		// Nothing dirtied since the last checkpoint: no generation to
 		// chain. The rotation still happened (repairing a broken WAL) and
 		// the old segments still hold nothing the chain lacks, so prune.
-		_ = os.RemoveAll(tmpDir)
+		_ = db.fs.RemoveAll(tmpDir)
 		st.DeltaChainLen = len(db.snapDeltas)
 		st.Generation = 0
 	} else {
 		genDir := filepath.Join(db.dir, genDirName(gen))
-		if err := os.Rename(tmpDir, genDir); err != nil {
-			_ = os.RemoveAll(tmpDir)
+		if err := db.fs.Rename(tmpDir, genDir); err != nil {
+			_ = db.fs.RemoveAll(tmpDir)
 			return CheckpointStats{}, err
 		}
-		syncDir(db.dir)
+		_ = db.fs.SyncDir(db.dir)
 		base, deltas := db.snapBase, db.snapDeltas
 		if full {
 			base, deltas = gen, nil
@@ -552,7 +576,7 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		}
 		// The floor is this checkpoint's rotation seq: every earlier
 		// segment's effects are in the chain being installed.
-		if err := writeManifest(db.dir, base, deltas, newSeq); err != nil {
+		if err := writeManifest(db.fs, db.dir, base, deltas, newSeq); err != nil {
 			// The orphan generation directory is ignored by recovery (not
 			// in the manifest) and retired by a later compaction.
 			return CheckpointStats{}, err
@@ -563,6 +587,9 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		}
 		db.statsMu.Lock()
 		db.snapBase, db.snapDeltas = base, deltas
+		if full && dropsSeen > db.handledDropEpoch {
+			db.handledDropEpoch = dropsSeen
+		}
 		db.statsMu.Unlock()
 		st.Generation = gen
 		st.DeltaChainLen = len(deltas)
@@ -579,10 +606,10 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	// and any legacy snapshot. Best-effort by contract: a file that will
 	// not delete is surfaced in the stats, never a checkpoint failure.
 	pruneFailures := 0
-	if segs, err := walSegments(db.dir); err == nil {
+	if segs, err := walSegments(db.fs, db.dir); err == nil {
 		for _, seg := range segs {
 			if segSeq(seg) < newSeq {
-				if removeFile(seg) == nil {
+				if removeFile(db.fs, seg) == nil {
 					st.SegmentsPruned++
 				} else {
 					pruneFailures++
@@ -591,18 +618,18 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		}
 	}
 	if full && st.Generation != 0 {
-		if matches, err := filepath.Glob(filepath.Join(db.dir, "snap-*")); err == nil {
+		if matches, err := db.fs.Glob(filepath.Join(db.dir, "snap-*")); err == nil {
 			for _, m := range matches {
 				if m == filepath.Join(db.dir, genDirName(gen)) {
 					continue
 				}
-				if removeTree(m) != nil {
+				if removeTree(db.fs, m) != nil {
 					pruneFailures++
 				}
 			}
 		}
-		if legacy := filepath.Join(db.dir, snapshotFile); removeFile(legacy) != nil {
-			if _, serr := os.Stat(legacy); serr == nil {
+		if legacy := filepath.Join(db.dir, snapshotFile); removeFile(db.fs, legacy) != nil {
+			if _, serr := db.fs.Stat(legacy); serr == nil {
 				pruneFailures++
 			}
 		}
@@ -773,8 +800,8 @@ func segSeq(path string) int {
 }
 
 // walSegments lists the directory's WAL segments in replay order.
-func walSegments(dir string) ([]string, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+func walSegments(fsys vfs.FS, dir string) ([]string, error) {
+	matches, err := fsys.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		return nil, err
 	}
@@ -787,8 +814,8 @@ func walSegments(dir string) ([]string, error) {
 // mid-append, or corruption — truncates the file at the last good record
 // boundary and reports trunc=true; it never aborts recovery. Errors
 // applying a well-formed record (schema drift, disk errors) do abort.
-func replaySegment(db *DB, path string) (applied int, trunc bool, err error) {
-	f, err := os.Open(path)
+func replaySegment(db *DB, fsys vfs.FS, path string) (applied int, trunc bool, err error) {
+	f, err := fsys.OpenRead(path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -805,7 +832,7 @@ func replaySegment(db *DB, path string) (applied int, trunc bool, err error) {
 			// Torn or corrupt record: cut the log at the last good
 			// boundary so the next open sees a clean tail.
 			f.Close()
-			if terr := os.Truncate(path, good); terr != nil {
+			if terr := fsys.Truncate(path, good); terr != nil {
 				return applied, true, terr
 			}
 			return applied, true, nil
@@ -830,15 +857,4 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
-}
-
-// syncDir fsyncs a directory so a just-renamed file's entry is durable.
-// Best-effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	_ = d.Sync()
-	_ = d.Close()
 }

@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"repro/internal/rdbms/vfs"
 )
 
 // openTestDB opens a durable DB in dir with the articles schema and its
@@ -53,7 +55,7 @@ func dumpDB(t *testing.T, db *DB) map[string][]Row {
 // lastSegment returns the path of the highest-numbered WAL segment.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := walSegments(dir)
+	segs, err := walSegments(vfs.NewOS(), dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("wal segments: %v (%d)", err, len(segs))
 	}
@@ -398,7 +400,7 @@ func TestCheckpointPrunesSegments(t *testing.T) {
 			t.Fatalf("idle checkpoint wrote a generation: %+v", st)
 		}
 	}
-	segs, err := walSegments(dir)
+	segs, err := walSegments(vfs.NewOS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/rdbms/vfs"
 )
 
 // touchPartitions mutates one stored row in each of n distinct partitions
@@ -288,11 +290,11 @@ func TestCheckpointPruneFailureNonFatal(t *testing.T) {
 	seedPartitions(t, tbl, 32)
 
 	oldRemove := removeFile
-	removeFile = func(path string) error {
+	removeFile = func(fsys vfs.FS, path string) error {
 		if filepath.Ext(path) == ".log" {
 			return fmt.Errorf("injected prune failure for %s", path)
 		}
-		return oldRemove(path)
+		return oldRemove(fsys, path)
 	}
 	defer func() { removeFile = oldRemove }()
 
@@ -342,11 +344,11 @@ func TestLeftoverSegmentsNotReplayedOverChain(t *testing.T) {
 	// Every segment prune fails: each checkpoint leaves its superseded
 	// segments on disk.
 	oldRemove := removeFile
-	removeFile = func(path string) error {
+	removeFile = func(fsys vfs.FS, path string) error {
 		if filepath.Ext(path) == ".log" {
 			return fmt.Errorf("injected prune failure for %s", path)
 		}
-		return oldRemove(path)
+		return oldRemove(fsys, path)
 	}
 	defer func() { removeFile = oldRemove }()
 
@@ -393,7 +395,7 @@ func TestLeftoverSegmentsNotReplayedOverChain(t *testing.T) {
 		t.Errorf("updated row reverted: %v %v", row, err)
 	}
 	// Open retried the reclaim: the dead segments are gone.
-	segs, err := walSegments(dir)
+	segs, err := walSegments(vfs.NewOS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

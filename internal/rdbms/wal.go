@@ -7,10 +7,11 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/rdbms/vfs"
 )
 
 // WAL op codes.
@@ -21,6 +22,7 @@ const (
 	walCommit
 	walCreateTable
 	walCreateIndex
+	walDropTable
 )
 
 // ErrCorrupt is returned when WAL replay encounters an undecodable record.
@@ -96,8 +98,9 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, time.Duration, error) {
 // walRecord is one log record. Insert carries Row; Update carries Key (the
 // old pk) and Row; Delete carries Key; Commit carries nothing. CreateTable
 // carries the schema columns, pk name and partition count; CreateIndex
-// carries the column and kind — the WAL logs DDL as well as data, so a log
-// alone (no snapshot yet) can rebuild a database from scratch.
+// carries the column and kind; DropTable carries only the table name — the
+// WAL logs DDL as well as data, so a log alone (no snapshot yet) can
+// rebuild a database from scratch.
 type walRecord struct {
 	Op    byte
 	Table string
@@ -120,7 +123,7 @@ type walRecord struct {
 type WAL struct {
 	mu      sync.Mutex
 	w       *bufio.Writer
-	f       *os.File // nil for plain writers
+	f       vfs.File // nil for plain writers
 	records int
 	bytes   int64
 	broken  bool // an append failed: the tail may be torn, refuse appends
@@ -147,16 +150,17 @@ func NewWAL(w io.Writer) *WAL {
 	return &WAL{w: bufio.NewWriter(w)}
 }
 
-// NewWALFile wraps an open file as a WAL sink with per-record flushing and
-// the default checkpoint-only fsync policy.
-func NewWALFile(f *os.File) *WAL {
+// NewWALFile wraps an open file (an *os.File or any vfs.File) as a WAL
+// sink with per-record flushing and the default checkpoint-only fsync
+// policy.
+func NewWALFile(f vfs.File) *WAL {
 	return NewWALFilePolicy(f, FsyncCheckpoint, 0)
 }
 
 // NewWALFilePolicy wraps an open file as a WAL sink with an explicit fsync
 // policy. FsyncIntervalPolicy and FsyncAlways start one background flusher
 // goroutine; it exits when the WAL is closed.
-func NewWALFilePolicy(f *os.File, policy FsyncPolicy, interval time.Duration) *WAL {
+func NewWALFilePolicy(f vfs.File, policy FsyncPolicy, interval time.Duration) *WAL {
 	l := &WAL{w: bufio.NewWriterSize(f, 1<<16), f: f, policy: policy, interval: interval}
 	l.syncCond = sync.NewCond(&l.mu)
 	l.flushCond = sync.NewCond(&l.mu)
@@ -340,7 +344,7 @@ func (l *WAL) Sync() error {
 // two segments. Rotating a broken WAL skips the old segment's flush (its
 // tail is already torn; the snapshot the checkpoint is about to write
 // supersedes it) and clears the broken state — the new segment is clean.
-func (l *WAL) rotate(f *os.File) (*os.File, error) {
+func (l *WAL) rotate(f vfs.File) (vfs.File, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.broken {
@@ -533,7 +537,7 @@ func readRecord(r *bufio.Reader) (walRecord, error) {
 		return walRecord{}, err // io.EOF at boundary is clean
 	}
 	rec := walRecord{Op: op}
-	if op < walInsert || op > walCreateIndex {
+	if op < walInsert || op > walDropTable {
 		return rec, fmt.Errorf("bad op %d: %w", op, ErrCorrupt)
 	}
 	rec.Table, err = readString(r)
@@ -677,7 +681,8 @@ func readValue(r *bufio.Reader) (Value, error) {
 // snapshot that may already contain some of the log's effects — records
 // apply with last-writer-wins semantics: inserts upsert, updates delete
 // the old key (if present) and upsert the new row, deletes of absent rows
-// are no-ops, and re-created tables/indexes are skipped.
+// and drops of absent tables are no-ops, and re-created tables/indexes are
+// skipped.
 func applyRecord(db *DB, rec walRecord, loose bool) error {
 	switch rec.Op {
 	case walCommit:
@@ -702,6 +707,14 @@ func applyRecord(db *DB, rec walRecord, loose bool) error {
 		if err := t.CreateIndex(rec.Col, rec.Kind); err != nil {
 			if errors.Is(err, ErrExists) {
 				return nil
+			}
+			return err
+		}
+		return nil
+	case walDropTable:
+		if err := db.DropTable(rec.Table); err != nil {
+			if loose && errors.Is(err, ErrNotFound) {
+				return nil // snapshot chain never carried it
 			}
 			return err
 		}

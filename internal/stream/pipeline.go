@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -342,16 +343,25 @@ func (p *Pipeline) worker(i int) {
 	}
 }
 
-// backoffFor doubles the base delay per completed attempt, capped.
+// backoffFor doubles the base delay per completed attempt, capped at
+// MaxBackoff, then jitters over the upper half of the result: a batch of
+// envelopes failing together (one stalled dependency fails a whole
+// micro-batch at once) spreads its retries out instead of re-arriving as
+// the same synchronized herd every round.
 func (p *Pipeline) backoffFor(attempt int) time.Duration {
 	d := p.cfg.Backoff
 	for i := 1; i < attempt; i++ {
 		d *= 2
 		if d >= p.cfg.MaxBackoff {
-			return p.cfg.MaxBackoff
+			d = p.cfg.MaxBackoff
+			break
 		}
 	}
-	return min(d, p.cfg.MaxBackoff)
+	d = min(d, p.cfg.MaxBackoff)
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 func (p *Pipeline) deadLetter(env Envelope, err error) {
