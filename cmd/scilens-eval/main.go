@@ -322,12 +322,12 @@ func writeCSV(path string, rows [][]string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
+		_ = f.Close() // the write failure is the error worth reporting
 		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close() // the flush failure is the error worth reporting
 		return err
 	}
 	fmt.Printf("wrote %s (%d rows)\n", path, len(rows)-1)

@@ -473,7 +473,7 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
-	start := time.Now()
+	start := time.Now() //scilint:ignore determinism checkpoint duration is operator telemetry, not replayed state
 
 	// 1. Rotate: every append from here lands in the new segment, so any
 	// record possibly missing from the generation below survives the
@@ -635,11 +635,11 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		}
 	}
 	st.PruneFailures = pruneFailures
-	st.Duration = time.Since(start)
+	st.Duration = time.Since(start) //scilint:ignore determinism checkpoint duration is operator telemetry, not replayed state
 
 	db.statsMu.Lock()
 	db.stats.checkpoints++
-	db.stats.lastCheckpoint = time.Now()
+	db.stats.lastCheckpoint = time.Now() //scilint:ignore determinism wall-clock checkpoint stamp feeds /api/stats, not recovery
 	if st.Generation != 0 {
 		db.stats.snapshotBytes = st.SnapshotBytes
 		db.stats.lastFull = full

@@ -120,7 +120,7 @@ func (OS) Lock(path string) (io.Closer, error) {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close() // the flock failure is the error worth reporting
 		return nil, ErrLockHeld
 	}
 	return f, nil

@@ -3,7 +3,10 @@
 //  1. an HTTP route registered in internal/api (a `mux.HandleFunc("METHOD
 //     /api/...")` call) is not documented in docs/API.md, or
 //  2. a relative markdown link in docs/ (or a root markdown file) points
-//     at a file that does not exist.
+//     at a file that does not exist, or
+//  3. a command-line flag registered by cmd/scilens-server or
+//     cmd/scilens-ingest is missing from the docs/OPERATIONS.md flag
+//     tables.
 //
 // Run from the repository root:
 //
@@ -31,6 +34,9 @@ var routeRe = regexp.MustCompile(`HandleFunc\("(GET|POST|PUT|DELETE|PATCH) (/api
 // linkRe matches inline markdown links [text](target).
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// flagRe matches stdlib flag registrations like flag.String("addr", ...).
+var flagRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\("([^"]+)"`)
+
 func main() {
 	var problems []string
 
@@ -48,6 +54,24 @@ func main() {
 	for _, route := range routes {
 		if !strings.Contains(string(apiDoc), route) {
 			problems = append(problems, fmt.Sprintf("route %q registered in internal/api but absent from docs/API.md", route))
+		}
+	}
+
+	flags, err := collectFlags("cmd/scilens-server", "cmd/scilens-ingest")
+	if err != nil {
+		fatal(err)
+	}
+	if len(flags) == 0 {
+		fatal(fmt.Errorf("no flag registrations found under cmd/ — is docscheck running from the repo root?"))
+	}
+	opsDoc, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		fatal(fmt.Errorf("docs/OPERATIONS.md: %w", err))
+	}
+	for _, f := range flags {
+		// Flags appear in the OPERATIONS.md tables as backticked `-name`.
+		if !strings.Contains(string(opsDoc), "`-"+f+"`") {
+			problems = append(problems, fmt.Sprintf("flag -%s registered under cmd/ but absent from the docs/OPERATIONS.md flag tables", f))
 		}
 	}
 
@@ -69,7 +93,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d routes documented, %d markdown files link-checked\n", len(routes), len(mds))
+	fmt.Printf("docscheck: %d routes documented, %d flags documented, %d markdown files link-checked\n", len(routes), len(flags), len(mds))
 }
 
 // collectRoutes scans the package's Go sources for route registrations.
@@ -97,6 +121,36 @@ func collectRoutes(dir string) ([]string, error) {
 	}
 	sort.Strings(routes)
 	return routes, nil
+}
+
+// collectFlags scans each command directory's Go sources for stdlib flag
+// registrations and returns the sorted union of flag names.
+func collectFlags(dirs ...string) ([]string, error) {
+	set := map[string]bool{}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range flagRe.FindAllStringSubmatch(string(src), -1) {
+				set[m[1]] = true
+			}
+		}
+	}
+	flags := make([]string, 0, len(set))
+	for f := range set {
+		flags = append(flags, f)
+	}
+	sort.Strings(flags)
+	return flags, nil
 }
 
 // markdownFiles lists docs/*.md plus the root-level markdown files.

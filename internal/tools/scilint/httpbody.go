@@ -1,0 +1,98 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// httpBody enforces the PR 2 request-hardening contract in internal/api:
+// a request body is attacker-sized, so every read of r.Body must pass
+// through http.MaxBytesReader at the point of use (the decodeJSON
+// helpers do exactly this; handlers that delegate to them never touch
+// r.Body and are trivially clean). r.Body.Close() is exempt — closing
+// is not reading.
+type httpBody struct{}
+
+func (httpBody) Name() string { return "httpbody" }
+
+func (httpBody) Doc() string {
+	return "internal/api code must wrap every request-body read in http.MaxBytesReader"
+}
+
+func (h httpBody) Run(p *Pass) {
+	if !pathHasSegment(p.Path, "api") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			h.checkFunc(p, fd)
+		}
+	}
+}
+
+func (h httpBody) checkFunc(p *Pass, fd *ast.FuncDecl) {
+	// Identify the *http.Request parameters.
+	reqParams := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil || types.TypeString(t, nil) != "*net/http.Request" {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					reqParams[obj] = true
+				}
+			}
+		}
+	}
+	if len(reqParams) == 0 {
+		return
+	}
+
+	// Ranges in which a body reference is sanctioned: the argument list
+	// of an http.MaxBytesReader call, or the receiver of .Close().
+	type posRange struct{ lo, hi token.Pos }
+	var allowed []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "MaxBytesReader" {
+					allowed = append(allowed, posRange{x.Pos(), x.End()})
+				}
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Close" {
+				allowed = append(allowed, posRange{x.X.Pos(), x.X.End()})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !reqParams[p.Info.Uses[id]] {
+			return true
+		}
+		for _, r := range allowed {
+			if sel.Pos() >= r.lo && sel.End() <= r.hi {
+				return true
+			}
+		}
+		p.Reportf(sel.Pos(), h.Name(),
+			"%s.Body read without http.MaxBytesReader: bound it (or use the decodeJSON helpers) so oversized requests get 413, not OOM",
+			id.Name)
+		return true
+	})
+}

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockHygiene guards the PR 4 stripe-locking discipline. Two rules:
+//
+//  1. Unlock on every path: a sync Lock()/RLock() whose unlock is not
+//     deferred must be matched by an explicit unlock on every return
+//     path that follows it. The check is a straight-line approximation:
+//     for each return after the lock, some preceding statement on the
+//     chain of enclosing blocks must unlock the same mutex. Two idioms
+//     are deliberately exempt — a function whose first operation on a
+//     mutex is an Unlock (it was called with the lock held, like the
+//     WAL's syncPending) and a function that never unlocks at all (a
+//     paired lock helper whose unlock lives in a sibling function).
+//
+//  2. No by-value signatures: a receiver, parameter or result whose type
+//     transitively bears a sync primitive must be a pointer. go vet's
+//     copylocks flags call sites; an exported function is a landmine
+//     even before anyone in-repo calls it, so the declaration itself is
+//     flagged here.
+type lockHygiene struct{}
+
+func (lockHygiene) Name() string { return "lockhygiene" }
+
+func (lockHygiene) Doc() string {
+	return "locks released on every return path; no mutex-bearing values in signatures"
+}
+
+func (l lockHygiene) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				l.checkSignature(p, fn)
+				if fn.Body != nil {
+					l.checkPaths(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				l.checkPaths(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// --- rule 1: unlock on every return path ---
+
+type lockOp struct {
+	pos  token.Pos
+	stmt ast.Stmt // the ExprStmt carrying the call
+	lock bool     // Lock/RLock vs Unlock/RUnlock
+}
+
+func (l lockHygiene) checkPaths(p *Pass, body *ast.BlockStmt) {
+	ops := map[string][]lockOp{} // mutex key → ops in source order
+	deferred := map[string]bool{}
+	var returns []*ast.ReturnStmt
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.DeferStmt:
+			if key, name, ok := syncMethod(p, x.Call); ok && isUnlockName(name) {
+				deferred[key] = true
+			}
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if key, name, ok := syncMethod(p, call); ok && isUnlockName(name) {
+							deferred[key] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, x)
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if key, name, ok := syncMethod(p, call); ok {
+					ops[key] = append(ops[key], lockOp{pos: x.Pos(), stmt: x, lock: isLockName(name)})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for key, seq := range ops {
+		if deferred[key] {
+			continue
+		}
+		var locks []lockOp
+		unlockCount := 0
+		for _, op := range seq {
+			if op.lock {
+				locks = append(locks, op)
+			} else {
+				unlockCount++
+			}
+		}
+		if len(locks) == 0 || unlockCount == 0 {
+			continue // never locked here, or a paired lock helper
+		}
+		if !seq[0].lock {
+			continue // first op is an unlock: called with the lock held
+		}
+		for i, lk := range locks {
+			next := token.Pos(1 << 30)
+			if i+1 < len(locks) {
+				next = locks[i+1].pos
+			}
+			for _, ret := range returns {
+				if ret.Pos() <= lk.pos || ret.Pos() >= next {
+					continue
+				}
+				doms := straightLineDoms(body, ret)
+				// The lock must itself dominate the return: a lock both
+				// taken and released inside an earlier loop body or a
+				// conditional that exits is not held when this return runs.
+				onPath := false
+				for _, s := range doms {
+					if s == lk.stmt {
+						onPath = true
+						break
+					}
+				}
+				if !onPath {
+					continue
+				}
+				if !unlockIn(p, doms, key, lk.pos) {
+					p.Reportf(ret.Pos(), l.Name(),
+						"return with %s held (locked at line %d): defer the unlock or unlock on this path",
+						keyDisplay(key), p.Fset.Position(lk.pos).Line)
+				}
+			}
+		}
+	}
+}
+
+// straightLineDoms collects the statements that lexically dominate ret:
+// its preceding siblings in its own block, and the preceding siblings of
+// each enclosing statement. An unlock buried in an earlier conditional
+// branch is not in the chain — that branch either returned (its own path
+// was checked) or rejoined still holding the lock.
+func straightLineDoms(body *ast.BlockStmt, ret *ast.ReturnStmt) []ast.Stmt {
+	var doms []ast.Stmt
+	contains := func(n ast.Node) bool {
+		return n != nil && ret.Pos() >= n.Pos() && ret.End() <= n.End()
+	}
+	var visitStmt func(s ast.Stmt)
+	visitList := func(list []ast.Stmt) {
+		for _, s := range list {
+			if contains(s) {
+				if s != ast.Stmt(ret) {
+					visitStmt(s)
+				}
+				return
+			}
+			doms = append(doms, s)
+		}
+	}
+	visitStmt = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			visitList(x.List)
+		case *ast.IfStmt:
+			if contains(x.Body) {
+				visitList(x.Body.List)
+			} else if x.Else != nil && contains(x.Else) {
+				visitStmt(x.Else)
+			}
+		case *ast.ForStmt:
+			if contains(x.Body) {
+				visitList(x.Body.List)
+			}
+		case *ast.RangeStmt:
+			if contains(x.Body) {
+				visitList(x.Body.List)
+			}
+		case *ast.SwitchStmt:
+			visitClauses(x.Body, contains, visitList)
+		case *ast.TypeSwitchStmt:
+			visitClauses(x.Body, contains, visitList)
+		case *ast.SelectStmt:
+			visitClauses(x.Body, contains, visitList)
+		case *ast.LabeledStmt:
+			visitStmt(x.Stmt)
+		}
+	}
+	visitList(body.List)
+	return doms
+}
+
+// unlockIn reports whether the dominator chain unlocks key after lockPos.
+func unlockIn(p *Pass, doms []ast.Stmt, key string, lockPos token.Pos) bool {
+	for _, s := range doms {
+		if s.Pos() <= lockPos {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if k, name, ok := syncMethod(p, call); ok && k == key && isUnlockName(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func visitClauses(body *ast.BlockStmt, contains func(ast.Node) bool, visitList func([]ast.Stmt)) {
+	for _, clause := range body.List {
+		if !contains(clause) {
+			continue
+		}
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			visitList(c.Body)
+		case *ast.CommClause:
+			visitList(c.Body)
+		}
+		return
+	}
+}
+
+// syncMethod matches a call to a sync package lock method (Lock, RLock,
+// Unlock, RUnlock — on Mutex, RWMutex or Locker) and returns a key that
+// identifies the mutex expression plus the read/write flavor, so an
+// RLock is never satisfied by a Unlock.
+func syncMethod(p *Pass, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	name = fn.Name()
+	switch name {
+	case "Lock", "Unlock":
+		return types.ExprString(sel.X) + ":w", name, true
+	case "RLock", "RUnlock":
+		return types.ExprString(sel.X) + ":r", name, true
+	}
+	return "", "", false
+}
+
+func isLockName(name string) bool   { return name == "Lock" || name == "RLock" }
+func isUnlockName(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+// keyDisplay renders a mutex key back as source-ish text.
+func keyDisplay(key string) string {
+	if len(key) > 2 && key[len(key)-2] == ':' {
+		expr := key[:len(key)-2]
+		if key[len(key)-1] == 'r' {
+			return expr + " (read lock)"
+		}
+		return expr
+	}
+	return key
+}
+
+// --- rule 2: mutex-bearing values in signatures ---
+
+func (l lockHygiene) checkSignature(p *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if _, isEllipsis := field.Type.(*ast.Ellipsis); isEllipsis {
+				continue
+			}
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if bearsLock(t, map[types.Type]bool{}) {
+				p.Reportf(field.Pos(), l.Name(),
+					"%s of %s copies mutex-bearing %s by value: use a pointer (go vet only flags call sites)",
+					kind, fd.Name.Name, types.TypeString(t, types.RelativeTo(p.Pkg)))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// bearsLock reports whether t, copied by value, would copy a sync
+// primitive: it is (or contains, through struct fields and arrays) a
+// sync.Mutex, RWMutex, Once, WaitGroup, Cond, Pool or Map.
+func bearsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return bearsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bearsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return bearsLock(u.Elem(), seen)
+	}
+	return false
+}

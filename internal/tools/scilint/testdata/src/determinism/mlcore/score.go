@@ -1,0 +1,76 @@
+// Package mlcore is the determinism golden fixture: its "mlcore" path
+// segment puts it in a deterministic zone, where wall clocks, the global
+// rand state and map-order float accumulation are banned.
+package mlcore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Vector is a sparse vector, map-backed like the real mlcore one.
+type Vector map[int]float64
+
+// sumDirect folds float values in map iteration order: the classic
+// last-ulp nondeterminism bug.
+func sumDirect(v Vector) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x // want determinism "float accumulation in map iteration order"
+	}
+	return sum
+}
+
+// dotSpelledOut writes the accumulation as s = s + ... — same bug.
+func dotSpelledOut(a, b Vector) float64 {
+	s := 0.0
+	for i, x := range a {
+		s = s + x*b[i] // want determinism "float accumulation in map iteration order"
+	}
+	return s
+}
+
+// scatterAdd writes a distinct element per key: order-independent, legal.
+func scatterAdd(dst []float64, v Vector) {
+	for i, x := range v {
+		dst[i] += x
+	}
+}
+
+// intCount accumulates an int: no float rounding, legal.
+func intCount(v Vector) int {
+	n := 0
+	for range v {
+		n++
+	}
+	return n
+}
+
+// stamp reads the wall clock inside a scoring zone.
+func stamp() time.Time {
+	return time.Now() // want determinism "time.Now in a deterministic zone"
+}
+
+// age compounds it with Since.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want determinism "time.Since in a deterministic zone"
+}
+
+// jitter draws from the process-global rand source.
+func jitter() float64 {
+	return rand.Float64() // want determinism "global rand.Float64 in a deterministic zone"
+}
+
+// seeded builds an injected-seed source: the sanctioned pattern.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sorted sums in sorted key order: deterministic, legal.
+func sorted(v Vector, keys []int) float64 {
+	sum := 0.0
+	for _, k := range keys {
+		sum += v[k]
+	}
+	return sum
+}

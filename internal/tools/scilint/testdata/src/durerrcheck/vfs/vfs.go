@@ -1,0 +1,19 @@
+// Package vfs mirrors the real vfs layer's shape for the durerrcheck
+// golden fixture: the analyzer matches durability methods by their
+// defining package's "vfs" path segment, so these interfaces trigger it
+// the same way internal/rdbms/vfs does.
+package vfs
+
+// File is one open handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface.
+type FS interface {
+	Create(path string) (File, error)
+	Rename(oldPath, newPath string) error
+	SyncDir(dir string) error
+}

@@ -1,0 +1,37 @@
+// Package api is the httpbody golden fixture: its "api" path segment
+// puts handlers in scope, where every request-body read must pass
+// through http.MaxBytesReader.
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// handleUnbounded decodes straight off the wire: an attacker-sized body
+// lands in memory whole.
+func handleUnbounded(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want httpbody "r.Body read without http.MaxBytesReader"
+}
+
+// handleSlurp is the io.ReadAll variant of the same hole.
+func handleSlurp(w http.ResponseWriter, r *http.Request) {
+	data, _ := io.ReadAll(r.Body) // want httpbody "r.Body read without http.MaxBytesReader"
+	_ = data
+}
+
+// handleBounded wraps the body at the point of use: legal.
+func handleBounded(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	var v map[string]any
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&v)
+}
+
+// handleDelegating never touches the body itself: legal (the helper it
+// calls is checked on its own).
+func handleDelegating(w http.ResponseWriter, r *http.Request) {
+	v := map[string]any{"ok": true}
+	_ = json.NewEncoder(w).Encode(v)
+}

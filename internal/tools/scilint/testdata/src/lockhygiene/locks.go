@@ -1,0 +1,119 @@
+// Package lockhygiene is the golden fixture for lock-path analysis and
+// by-value mutex signatures.
+package lockhygiene
+
+import (
+	"errors"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakOnError is the classic bug: the early return leaves mu held.
+func leakOnError(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errors.New("boom") // want lockhygiene "return with c.mu held"
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// leakReadLock is the same bug under RLock.
+func leakReadLock(c *counter) int {
+	c.rw.RLock()
+	if c.n < 0 {
+		return 0 // want lockhygiene "return with c.rw (read lock) held"
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+
+// deferred is fine on every path.
+func deferred(c *counter, fail bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return errors.New("boom")
+	}
+	c.n++
+	return nil
+}
+
+// manualEveryPath unlocks explicitly on both paths.
+func manualEveryPath(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errors.New("boom")
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// calledLocked is the syncPending idiom: the caller holds the lock, the
+// helper drops and retakes it. Its first mutex operation is an unlock,
+// which exempts it.
+func calledLocked(c *counter, fail bool) error {
+	c.mu.Unlock()
+	work()
+	c.mu.Lock()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// pairedLock intentionally returns with the lock held (its partner
+// unlocks); a function with no unlocks at all is exempt.
+func pairedLock(c *counter) {
+	c.mu.Lock()
+	c.n++
+}
+
+// loopScoped locks and unlocks per iteration; the return after the loop
+// runs with nothing held.
+func loopScoped(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// deferredClosure counts as a deferred unlock.
+func deferredClosure(c *counter, fail bool) error {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func work() {}
+
+// byValueParam copies the embedded mutex before the function even runs.
+func byValueParam(c counter) int { // want lockhygiene "parameter of byValueParam copies mutex-bearing counter"
+	return c.n
+}
+
+// byValueResult hands a copy back.
+func byValueResult() counter { // want lockhygiene "result of byValueResult copies mutex-bearing counter"
+	return counter{}
+}
+
+// pointers everywhere: fine.
+func byPointer(c *counter) *counter { return c }

@@ -1,0 +1,34 @@
+// Package store is a vfsdiscipline golden fixture: it sits under an
+// "rdbms" path segment, so every direct filesystem touch must be
+// flagged while non-filesystem os uses stay legal.
+package store
+
+import (
+	"io/ioutil" // want vfsdiscipline "io/ioutil import in rdbms"
+	"os"
+)
+
+// persist hits the deny list three different ways.
+func persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want vfsdiscipline "direct os.WriteFile in rdbms"
+		return err
+	}
+	if err := os.Rename(path, path+".bak"); err != nil { // want vfsdiscipline "direct os.Rename in rdbms"
+		return err
+	}
+	f, err := os.Open(path) // want vfsdiscipline "direct os.Open in rdbms"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// load uses the deprecated ioutil shim (flagged at the import).
+func load(path string) ([]byte, error) {
+	return ioutil.ReadFile(path)
+}
+
+// missing demonstrates the allowed, non-filesystem os surface.
+func missing(err error) bool {
+	return os.IsNotExist(err)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// vfsDiscipline enforces the PR 6 storage contract: every filesystem
+// touch inside internal/rdbms goes through the vfs.FS injected via
+// Options.FS. One direct os.Rename in the checkpoint path silently
+// escapes fault injection, Mem's power-cut semantics and the crash
+// matrix — exactly the hole this rule closes. The vfs package itself is
+// the one place allowed to call the OS.
+type vfsDiscipline struct{}
+
+func (vfsDiscipline) Name() string { return "vfsdiscipline" }
+
+func (vfsDiscipline) Doc() string {
+	return "internal/rdbms must do file I/O through vfs.FS, never package os or io/ioutil"
+}
+
+// osFSRefs are the package-os identifiers that touch the filesystem (or
+// mint handles that do). Non-filesystem os uses — error predicates like
+// os.IsNotExist, os.Getenv — stay legal.
+var osFSRefs = map[string]bool{
+	"Chdir": true, "Chmod": true, "Chown": true, "Chtimes": true,
+	"Create": true, "CreateTemp": true, "DirFS": true, "Getwd": true,
+	"Lchown": true, "Link": true, "Lstat": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "NewFile": true, "Open": true,
+	"OpenFile": true, "OpenRoot": true, "Pipe": true, "ReadDir": true,
+	"ReadFile": true, "Readlink": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Stat": true, "Symlink": true, "TempDir": true,
+	"Truncate": true, "WriteFile": true,
+}
+
+func (v vfsDiscipline) Run(p *Pass) {
+	if !pathHasSegment(p.Path, "rdbms") || pathHasSegment(p.Path, "vfs") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "io/ioutil" {
+				p.Reportf(imp.Pos(), v.Name(),
+					"io/ioutil import in rdbms: route file I/O through vfs.FS (Options.FS) so fault injection and crash tests cover it")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			if osFSRefs[sel.Sel.Name] {
+				p.Reportf(sel.Pos(), v.Name(),
+					"direct os.%s in rdbms: route it through vfs.FS (Options.FS) so fault injection and crash tests cover it", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
