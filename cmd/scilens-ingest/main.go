@@ -18,11 +18,13 @@
 //	               [-shards N] [-batch N] [-sync] [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 //	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
+//	               [-debug-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -31,12 +33,12 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1, "world seed")
-		days      = flag.Int("days", 30, "collection window length in days")
-		scale     = flag.Float64("scale", 1.0, "outlet posting-rate scale")
-		reactions = flag.Float64("reactions", 0.5, "social cascade size scale")
-		consumers = flag.Int("consumers", 4, "ingestion consumer-group size")
-		queue     = flag.Int("queue", 8192, "per-partition broker queue capacity")
+		seed       = flag.Int64("seed", 1, "world seed")
+		days       = flag.Int("days", 30, "collection window length in days")
+		scale      = flag.Float64("scale", 1.0, "outlet posting-rate scale")
+		reactions  = flag.Float64("reactions", 0.5, "social cascade size scale")
+		consumers  = flag.Int("consumers", 4, "ingestion consumer-group size")
+		queue      = flag.Int("queue", 8192, "per-partition broker queue capacity")
 		shards     = flag.Int("shards", 4, "pipeline shard/worker count")
 		batch      = flag.Int("batch", 64, "pipeline micro-batch size")
 		syncMode   = flag.Bool("sync", false, "bypass the pipeline: synchronous one-event-at-a-time ingest")
@@ -46,8 +48,23 @@ func main() {
 		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "self-driving checkpoint cadence during the run (0 = only the closing checkpoint)")
 		ckptBytes  = flag.Int64("checkpoint-wal-bytes", 0, "checkpoint once the WAL grows this many bytes during the run (0 = no byte trigger)")
+		debugAddr  = flag.String("debug-addr", "", "debug listen address serving /metrics and pprof during the run (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           scilens.NewDebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			fmt.Printf("debug surface (metrics, pprof) listening on %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "scilens-ingest: debug listener:", err)
+			}
+		}()
+	}
 
 	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions, *fsync, *deltaLimit, *ckptEvery, *ckptBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "scilens-ingest:", err)

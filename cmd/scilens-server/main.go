@@ -14,6 +14,7 @@
 //	               [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 //	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
+//	               [-debug-addr ADDR]
 //
 // Endpoints:
 //
@@ -28,6 +29,12 @@
 //	POST /api/reindex                 re-evaluate the stored corpus
 //	POST /api/checkpoint              persist the store online
 //	GET  /api/health                  ingestion + storage counters
+//	GET  /api/version                 build info, start time, uptime
+//	GET  /api/debug/traces            retained request traces (?min_ms=N)
+//	GET  /metrics                     Prometheus text exposition
+//
+// With -debug-addr a second listener additionally serves the telemetry
+// routes plus net/http/pprof, kept off the public API address.
 package main
 
 import (
@@ -56,6 +63,7 @@ func main() {
 		deltaLimit = flag.Int("delta-limit", 0, "checkpoint delta-chain length before compaction (0 = default, <0 = always full)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "self-driving checkpoint cadence for durable stores (0 = no timer)")
 		ckptBytes  = flag.Int64("checkpoint-wal-bytes", 8<<20, "checkpoint once the WAL grows this many bytes (0 = no byte trigger)")
+		debugAddr  = flag.String("debug-addr", "", "debug listen address serving /metrics and pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -94,6 +102,19 @@ func main() {
 		Addr:              *addr,
 		Handler:           scilens.NewHTTPServer(platform),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           scilens.NewDebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("debug surface (metrics, pprof) listening on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	// Graceful shutdown: stop accepting requests and let in-flight ones
 	// finish, then drain the pipeline and (for durable stores) write a

@@ -23,6 +23,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/compute"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/outlets"
 	"repro/internal/rdbms"
 	"repro/internal/reviews"
@@ -215,15 +216,20 @@ type assessTopicPayload struct {
 }
 
 func (s *AssessmentService) handleAssessDocument(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(r.Context(), "decode")
 	var req assessRequest
 	if !decodeJSON(w, r, maxAssessBody, &req) {
+		sp.End()
 		return
 	}
+	sp.End()
 	if req.HTML == "" {
 		writeError(w, http.StatusBadRequest, errors.New("html field required"))
 		return
 	}
+	sp = obs.StartSpan(r.Context(), "evaluate")
 	report, err := s.platform.Engine.Evaluate(req.HTML, req.URL, nil)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -739,9 +745,12 @@ func (s *AdminService) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 	})
 }
 
-// Server mounts the micro-services on one mux (the demo deployment).
+// Server mounts the micro-services on one mux (the demo deployment),
+// wrapped by the telemetry middleware: every request is traced and
+// recorded into the per-route metric families (see telemetry.go).
 type Server struct {
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // NewServer composes the services for the platform.
@@ -763,12 +772,14 @@ func NewServer(p *core.Platform) *Server {
 	s.mux.Handle("/api/ingest/", ingest)
 	s.mux.Handle("/api/stream", ingest)
 	s.mux.Handle("/api/stats", ingest)
+	registerTelemetryRoutes(s.mux)
+	s.handler = observe(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // queryInt parses an optional integer query parameter. A missing parameter

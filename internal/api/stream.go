@@ -194,6 +194,7 @@ func (s *IngestService) handleStats(w http.ResponseWriter, r *http.Request) {
 		"parse_failures":   stats.ParseFailures,
 		"orphan_reactions": stats.OrphanReactions,
 		"pipeline":         s.platform.StreamStats(),
+		"feed_subscribers": s.platform.Bus.SubscriberStats(),
 		"storage":          s.platform.StorageStats(),
 		"storage_health":   s.platform.StorageHealth(),
 	})

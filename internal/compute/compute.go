@@ -13,6 +13,19 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Worker-pool telemetry: queue wait is the time a task spent blocked on
+// a worker slot; task seconds is per-task execution time, whose _sum is
+// the pool's cumulative busy time (utilization = rate(sum) / workers).
+var (
+	mTaskQueueWait = obs.NewDurationHistogram("scilens_compute_queue_wait_seconds",
+		"Time a partition task waited for a free worker slot.")
+	mTaskDuration = obs.NewDurationHistogram("scilens_compute_task_seconds",
+		"Partition task execution time (including in-task retries); the _sum is cumulative worker busy time.")
 )
 
 // Sentinel errors.
@@ -156,8 +169,12 @@ func (p *Pool) runTasks(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			enq := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			start := time.Now()
+			mTaskQueueWait.ObserveDuration(start.Sub(enq))
+			defer func() { mTaskDuration.ObserveDuration(time.Since(start)) }()
 			var err error
 			for attempt := 0; attempt <= p.retries; attempt++ {
 				p.tasks.Add(1)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/dfs"
 	"repro/internal/indicators"
+	"repro/internal/obs"
 	"repro/internal/outlets"
 	"repro/internal/rdbms"
 	"repro/internal/rdbms/vfs"
@@ -99,6 +100,11 @@ type Platform struct {
 	dlSeq     atomic.Uint64 // dead-letter id sequence
 	evaluated atomic.Uint64 // postings through the batched-evaluation stage
 	malformed atomic.Uint64 // payloads that failed to decode
+
+	// Per-shard stage-timing handles, pre-registered so the batch path
+	// records without a vec lookup (see streaming.go).
+	obsEval   []*obs.Histogram
+	obsCommit []*obs.Histogram
 
 	// Dead-letter retention (see streaming.go).
 	dlMaxCount int
@@ -360,6 +366,13 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Process:       p.processBatch,
 		OnDead:        p.writeDeadLetter,
 	})
+	p.obsEval = make([]*obs.Histogram, p.Pipeline.Shards())
+	p.obsCommit = make([]*obs.Histogram, p.Pipeline.Shards())
+	for i := range p.obsEval {
+		s := strconv.Itoa(i)
+		p.obsEval[i] = mEvalStage.With(s)
+		p.obsCommit[i] = mCommitStage.With(s)
+	}
 	p.health.state = StorageOK
 	p.health.since = cfg.Clock()
 	if cfg.DataDir != "" {

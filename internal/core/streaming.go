@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/indicators"
+	"repro/internal/obs"
 	"repro/internal/outlets"
 	"repro/internal/rdbms"
 	"repro/internal/stream"
@@ -35,9 +37,36 @@ import (
 // errMalformedEvent marks payloads that fail to decode (never retried).
 var errMalformedEvent = errors.New("core: malformed event payload")
 
+// Per-shard stage timings. The handles are pre-registered per shard in
+// NewPlatform so the batch path records without a vec lookup.
+var (
+	mEvalStage = obs.NewDurationHistogramVec("scilens_pipeline_evaluate_seconds",
+		"Batched-evaluation stage duration per pipeline shard.", "shard")
+	mCommitStage = obs.NewDurationHistogramVec("scilens_pipeline_commit_seconds",
+		"Store-commit stage duration (postings + coalesced reactions) per pipeline shard.", "shard")
+)
+
+// stageEval returns shard's pre-registered evaluate-stage histogram,
+// falling back to a vec lookup for indexes outside the platform's shard
+// range (direct test invocations).
+func (p *Platform) stageEval(shard int) *obs.Histogram {
+	if shard >= 0 && shard < len(p.obsEval) {
+		return p.obsEval[shard]
+	}
+	return mEvalStage.With(strconv.Itoa(shard))
+}
+
+// stageCommit is stageEval's commit-stage counterpart.
+func (p *Platform) stageCommit(shard int) *obs.Histogram {
+	if shard >= 0 && shard < len(p.obsCommit) {
+		return p.obsCommit[shard]
+	}
+	return mCommitStage.With(strconv.Itoa(shard))
+}
+
 // processBatch is the pipeline's Process hook: one micro-batch for one
 // shard through decode → evaluate → commit.
-func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result {
+func (p *Platform) processBatch(shard int, batch []stream.Envelope) []stream.Result {
 	results := make([]stream.Result, len(batch))
 	events := make([]synth.Event, len(batch))
 	live := make([]bool, len(batch))
@@ -71,7 +100,9 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 	// (see applyPosting).
 	gen := p.Engine.ModelGeneration()
 	if len(docs) > 0 {
+		evalStart := time.Now()
 		brs, err := p.Engine.EvaluateBatch(p.Compute, docs)
+		p.stageEval(shard).ObserveDuration(time.Since(evalStart))
 		if err != nil {
 			// A pool-level failure (not a per-document one) is transient:
 			// retry every posting of the batch.
@@ -97,6 +128,8 @@ func (p *Platform) processBatch(_ int, batch []stream.Envelope) []stream.Result 
 
 	// Stage 3a: commit postings in batch order, so reactions later in the
 	// batch resolve their article.
+	commitStart := time.Now()
+	defer func() { p.stageCommit(shard).ObserveDuration(time.Since(commitStart)) }()
 	for _, i := range postingIdx {
 		if !live[i] {
 			continue

@@ -98,22 +98,33 @@ func (c *reportCache) shard(k cacheKey) *cacheShard {
 	return &c.shards[k.d1&uint64(len(c.shards)-1)]
 }
 
+// cacheOutcome classifies one getOrCompute call for telemetry: a warm
+// hit, a miss that ran the pipeline, or a singleflight join that waited
+// on a concurrent computation.
+type cacheOutcome uint8
+
+const (
+	cacheHit cacheOutcome = iota
+	cacheMiss
+	cacheJoin
+)
+
 // getOrCompute returns the cached report for key, or runs compute exactly
 // once across all concurrent callers and caches the result. Errors are
 // shared with concurrent waiters but never cached.
-func (c *reportCache) getOrCompute(key cacheKey, compute func() (*Report, error)) (*Report, error) {
+func (c *reportCache) getOrCompute(key cacheKey, compute func() (*Report, error)) (*Report, cacheOutcome, error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.moveFront(e)
 		r := e.report
 		s.mu.Unlock()
-		return r, nil
+		return r, cacheHit, nil
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		<-f.done
-		return f.r, f.err
+		return f.r, cacheJoin, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -142,7 +153,7 @@ func (c *reportCache) getOrCompute(key cacheKey, compute func() (*Report, error)
 		close(f.done)
 	}()
 	f.r, f.err = compute()
-	return f.r, f.err
+	return f.r, cacheMiss, f.err
 }
 
 // errEvaluationAborted is handed to singleflight waiters whose flight

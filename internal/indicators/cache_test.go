@@ -71,7 +71,7 @@ func TestSingleflightSharesOneComputation(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := c.getOrCompute(key, func() (*Report, error) {
+			r, _, err := c.getOrCompute(key, func() (*Report, error) {
 				calls.Add(1)
 				<-release // hold the flight open so every waiter piles up
 				return want, nil
@@ -231,7 +231,7 @@ func TestCacheFlushOnModelChange(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _ = c.getOrCompute(key, func() (*Report, error) {
+		_, _, _ = c.getOrCompute(key, func() (*Report, error) {
 			close(started)
 			<-release
 			return &Report{}, nil
@@ -289,7 +289,7 @@ func TestPanicDoesNotPoisonKey(t *testing.T) {
 	waiterDone := make(chan error, 1)
 	go func() {
 		defer func() { recover() }()
-		_, _ = c.getOrCompute(key, func() (*Report, error) {
+		_, _, _ = c.getOrCompute(key, func() (*Report, error) {
 			close(panicking)
 			panic("evaluation blew up")
 		})
@@ -298,7 +298,7 @@ func TestPanicDoesNotPoisonKey(t *testing.T) {
 	go func() {
 		// Either joins the dying flight (must get an error, not block
 		// forever) or starts fresh after deregistration.
-		r, err := c.getOrCompute(key, func() (*Report, error) { return &Report{}, nil })
+		r, _, err := c.getOrCompute(key, func() (*Report, error) { return &Report{}, nil })
 		if r == nil && err == nil {
 			waiterDone <- fmt.Errorf("nil report with nil error")
 			return
@@ -315,7 +315,7 @@ func TestPanicDoesNotPoisonKey(t *testing.T) {
 	}
 	// The key must still be computable afterwards.
 	want := &Report{}
-	r, err := c.getOrCompute(key, func() (*Report, error) { return want, nil })
+	r, _, err := c.getOrCompute(key, func() (*Report, error) { return want, nil })
 	if err != nil || (r != want && r == nil) {
 		t.Fatalf("key poisoned after panic: r=%v err=%v", r, err)
 	}

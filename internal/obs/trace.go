@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer retains completed traces: every finished trace lands in a
+// bounded ring (oldest overwritten first), and the slowest-N are kept
+// aside so a latency spike survives long after the ring has churned
+// past it. DefaultTracer backs the HTTP middleware and GET
+// /api/debug/traces.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []TraceRecord // capacity len(ring); zero ID = empty slot
+	next  int
+	slow  []TraceRecord // up to slowCap, unordered
+	sCap  int
+	total uint64
+}
+
+// DefaultTracer retains the last 256 traces and the 32 slowest.
+var DefaultTracer = NewTracer(256, 32)
+
+// NewTracer builds a tracer with the given ring and slowest-N
+// capacities.
+func NewTracer(ringCap, slowCap int) *Tracer {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	if slowCap < 0 {
+		slowCap = 0
+	}
+	return &Tracer{ring: make([]TraceRecord, ringCap), sCap: slowCap}
+}
+
+// TraceRecord is one completed trace as served by /api/debug/traces.
+type TraceRecord struct {
+	ID         string       `json:"trace_id"`
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationMs float64      `json:"duration_ms"`
+	Status     int          `json:"status,omitempty"`
+	Spans      []SpanRecord `json:"spans,omitempty"`
+}
+
+// SpanRecord is one completed span, with offsets relative to the trace
+// start.
+type SpanRecord struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"duration_ms"`
+}
+
+// collect files a completed trace into the ring and the slowest-N set.
+func (tr *Tracer) collect(rec TraceRecord) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.total++
+	tr.ring[tr.next] = rec
+	tr.next = (tr.next + 1) % len(tr.ring)
+	if tr.sCap == 0 {
+		return
+	}
+	if len(tr.slow) < tr.sCap {
+		tr.slow = append(tr.slow, rec)
+		return
+	}
+	minI, minD := 0, tr.slow[0].DurationMs
+	for i, s := range tr.slow {
+		if s.DurationMs < minD {
+			minI, minD = i, s.DurationMs
+		}
+	}
+	if rec.DurationMs > minD {
+		tr.slow[minI] = rec
+	}
+}
+
+// Total returns the number of traces collected since process start.
+func (tr *Tracer) Total() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}
+
+// Snapshot returns the retained traces at least min long — the ring
+// (most recent first) merged with the slowest-N set, de-duplicated by
+// trace ID.
+func (tr *Tracer) Snapshot(min time.Duration) []TraceRecord {
+	minMs := float64(min) / float64(time.Millisecond)
+	tr.mu.Lock()
+	out := make([]TraceRecord, 0, len(tr.ring)+len(tr.slow))
+	seen := map[string]bool{}
+	for i := 1; i <= len(tr.ring); i++ {
+		rec := tr.ring[(tr.next-i+len(tr.ring))%len(tr.ring)]
+		if rec.ID == "" || rec.DurationMs < minMs {
+			continue
+		}
+		seen[rec.ID] = true
+		out = append(out, rec)
+	}
+	for _, rec := range tr.slow {
+		if rec.ID == "" || rec.DurationMs < minMs || seen[rec.ID] {
+			continue
+		}
+		out = append(out, rec)
+	}
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Trace is one in-flight request trace. Create with Tracer.Start (or the
+// package-level StartTrace); add spans with StartSpan; Finish files it
+// with the tracer. All methods are nil-safe so instrumentation can run
+// unconditionally.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	start  time.Time
+
+	mu    sync.Mutex
+	name  string
+	spans []SpanRecord
+}
+
+type traceCtxKey struct{}
+
+// Start begins a trace and returns a context carrying it.
+func (tr *Tracer) Start(ctx context.Context, name string) (context.Context, *Trace) {
+	t := &Trace{tracer: tr, id: newTraceID(), start: time.Now(), name: name}
+	return context.WithValue(ctx, traceCtxKey{}, t), t
+}
+
+// StartTrace begins a trace on DefaultTracer.
+func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	return DefaultTracer.Start(ctx, name)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetName renames the trace (the HTTP middleware upgrades the raw URL to
+// the matched route pattern once dispatch has resolved it).
+func (t *Trace) SetName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.name = name
+	t.mu.Unlock()
+}
+
+// StartSpan opens a child span. End it to record; an unfinished span is
+// simply dropped.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// StartSpan opens a span on the trace carried by ctx (nil-safe: without
+// a trace it returns a no-op span).
+func StartSpan(ctx context.Context, name string) *Span {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// Finish completes the trace and files it with its tracer. status is the
+// HTTP status (0 for non-HTTP traces).
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start)
+	t.mu.Lock()
+	rec := TraceRecord{
+		ID:         t.id,
+		Name:       t.name,
+		Start:      t.start,
+		DurationMs: float64(d) / float64(time.Millisecond),
+		Status:     status,
+		Spans:      t.spans,
+	}
+	t.spans = nil
+	t.mu.Unlock()
+	t.tracer.collect(rec)
+}
+
+// Span is one timed section of a trace.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End records the span (nil-safe).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	rec := SpanRecord{
+		Name:    s.name,
+		StartMs: float64(s.start.Sub(s.t.start)) / float64(time.Millisecond),
+		DurMs:   float64(end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, rec)
+	s.t.mu.Unlock()
+}
+
+// newTraceID returns a 16-hex-char random trace ID.
+func newTraceID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rand.Uint64())
+	return hex.EncodeToString(b[:])
+}

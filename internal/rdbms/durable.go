@@ -637,6 +637,12 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	st.PruneFailures = pruneFailures
 	st.Duration = time.Since(start) //scilint:ignore determinism checkpoint duration is operator telemetry, not replayed state
 
+	mCheckpoints.Inc()
+	mCheckpointDur.ObserveDuration(st.Duration)
+	if st.SnapshotBytes > 0 {
+		mCheckpointBytes.Add(uint64(st.SnapshotBytes))
+	}
+
 	db.statsMu.Lock()
 	db.stats.checkpoints++
 	db.stats.lastCheckpoint = time.Now() //scilint:ignore determinism wall-clock checkpoint stamp feeds /api/stats, not recovery

@@ -218,7 +218,7 @@ func (t *Table) Insert(r Row) (int, error) {
 	}
 	k := r[t.schema.PK].hashKey()
 	p := t.parts[t.partForKey(k)]
-	p.mu.Lock()
+	lockPart(p)
 	defer p.mu.Unlock()
 	return t.insertLocked(p, k, r, true)
 }
@@ -331,7 +331,7 @@ func (t *Table) Update(pk Value, r Row) error {
 	pj := t.partFor(r[t.schema.PK])
 	if pi == pj {
 		p := t.parts[pi]
-		p.mu.Lock()
+		lockPart(p)
 		defer p.mu.Unlock()
 		return t.updateLocked(p, k, pk, r, true)
 	}
@@ -454,7 +454,7 @@ func (t *Table) Mutate(pk Value, fn func(Row) (Row, error)) error {
 	pi := t.partForKey(k)
 	for {
 		p := t.parts[pi]
-		p.mu.Lock()
+		lockPart(p)
 		id, ok := p.pkIdx.lookupOneKey(k)
 		if !ok {
 			p.mu.Unlock()
@@ -517,7 +517,7 @@ func (t *Table) mutateMove(pi, pj int, pk Value, fn func(Row) (Row, error)) (boo
 func (t *Table) Delete(pk Value) error {
 	k := pk.hashKey()
 	p := t.parts[t.partForKey(k)]
-	p.mu.Lock()
+	lockPart(p)
 	defer p.mu.Unlock()
 	return t.deleteLocked(p, k, pk, true)
 }
@@ -556,7 +556,7 @@ func (t *Table) Upsert(r Row) error {
 	pk := r[t.schema.PK]
 	k := pk.hashKey()
 	p := t.parts[t.partForKey(k)]
-	p.mu.Lock()
+	lockPart(p)
 	defer p.mu.Unlock()
 	if _, ok := p.pkIdx.lookupOneKey(k); ok {
 		return t.updateLocked(p, k, pk, r, true)
@@ -737,7 +737,7 @@ func (t *Table) resetPartition(pi int) {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
 	p := t.parts[pi]
-	p.mu.Lock()
+	lockPart(p)
 	defer p.mu.Unlock()
 	p.heap = nil
 	p.free = nil
@@ -768,7 +768,7 @@ func (t *Table) insertIntoPartition(pi int, r Row) error {
 		return fmt.Errorf("row for partition %d routes to %d: %w", pi, got, ErrCorrupt)
 	}
 	p := t.parts[pi]
-	p.mu.Lock()
+	lockPart(p)
 	defer p.mu.Unlock()
 	_, err := t.insertLocked(p, k, r, false)
 	return err

@@ -219,7 +219,9 @@ func (l *WAL) syncPending() {
 		return
 	}
 	l.mu.Unlock()
+	fsyncStart := time.Now() //scilint:ignore determinism fsync latency is operator telemetry, not replayed state
 	err := f.Sync()
+	mWALFsync.ObserveDuration(time.Since(fsyncStart)) //scilint:ignore determinism fsync latency is operator telemetry, not replayed state
 	l.mu.Lock()
 	if l.f != f {
 		return // rotated or closed mid-fsync: outcome superseded
@@ -232,6 +234,7 @@ func (l *WAL) syncPending() {
 	l.fsyncs++
 	if target > l.durable {
 		l.fsyncedRecords += uint64(target - l.durable)
+		mWALGroupCommit.Observe(int64(target - l.durable))
 		l.durable = target
 	}
 	l.syncCond.Broadcast()
@@ -387,6 +390,8 @@ func (l *WAL) rotate(f vfs.File) (vfs.File, error) {
 // flush or fsync failure marks the WAL broken and fails this and every
 // later append until a checkpoint rotates onto a clean segment.
 func (l *WAL) append(rec walRecord) error {
+	start := time.Now()                                              //scilint:ignore determinism append latency is operator telemetry, not replayed state
+	defer func() { mWALAppend.ObserveDuration(time.Since(start)) }() //scilint:ignore determinism append latency is operator telemetry, not replayed state
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken || (l.closed && l.f == nil) {

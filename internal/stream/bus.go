@@ -1,8 +1,23 @@
 package stream
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Live-feed telemetry. Drops were previously visible only as an
+// aggregate on /api/stats; the registry counter plus SubscriberStats
+// make lossy feeds attributable to the subscriber that cannot keep up.
+var (
+	mFeedPublished = obs.NewCounter("scilens_feed_published_total",
+		"Assessments published to the live SSE feed.")
+	mFeedDropped = obs.NewCounter("scilens_feed_dropped_total",
+		"Feed deliveries dropped because a subscriber's buffer was full.")
+	mFeedSubscribers = obs.NewGauge("scilens_feed_subscribers",
+		"Currently connected live-feed subscribers.")
 )
 
 // Bus is a lightweight in-process pub/sub fan-out: the ingestion pipeline
@@ -67,12 +82,17 @@ func (s *Subscription) Cancel() {
 		return
 	}
 	delete(s.bus.subs, s.id)
+	mFeedSubscribers.Add(-1)
 	close(s.ch)
 }
 
 // Dropped returns how many messages this subscriber missed because its
 // buffer was full.
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// ID returns the bus-assigned subscriber ID (stable for the lifetime of
+// the subscription; surfaced by SubscriberStats).
+func (s *Subscription) ID() uint64 { return s.id }
 
 // Publish fans the payload out to every subscriber without blocking and
 // returns the delivered count. Subscribers must not modify the payload.
@@ -83,6 +103,7 @@ func (b *Bus) Publish(payload []byte) int {
 		return 0
 	}
 	b.published.Add(1)
+	mFeedPublished.Inc()
 	delivered := 0
 	for _, sub := range b.subs {
 		select {
@@ -91,6 +112,7 @@ func (b *Bus) Publish(payload []byte) int {
 		default:
 			sub.dropped.Add(1)
 			b.dropped.Add(1)
+			mFeedDropped.Inc()
 		}
 	}
 	return delivered
@@ -101,6 +123,36 @@ func (b *Bus) Subscribers() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.subs)
+}
+
+// SubscriberStats is one live subscriber's delivery health, surfaced by
+// GET /api/stats so a lossy feed can be pinned on the subscriber that
+// cannot keep up.
+type SubscriberStats struct {
+	// ID is the bus-assigned subscriber ID.
+	ID uint64 `json:"id"`
+	// Dropped counts deliveries this subscriber missed (full buffer).
+	Dropped uint64 `json:"dropped"`
+	// Buffered is the current channel backlog; Capacity its bound.
+	Buffered int `json:"buffered"`
+	Capacity int `json:"capacity"`
+}
+
+// SubscriberStats snapshots every current subscriber, ordered by ID.
+func (b *Bus) SubscriberStats() []SubscriberStats {
+	b.mu.Lock()
+	out := make([]SubscriberStats, 0, len(b.subs))
+	for _, sub := range b.subs {
+		out = append(out, SubscriberStats{
+			ID:       sub.id,
+			Dropped:  sub.dropped.Load(),
+			Buffered: len(sub.ch),
+			Capacity: cap(sub.ch),
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // BusStats is a snapshot of the bus counters.
@@ -132,6 +184,7 @@ func (b *Bus) Close() {
 	b.closed = true
 	for id, sub := range b.subs {
 		delete(b.subs, id)
+		mFeedSubscribers.Add(-1)
 		close(sub.ch)
 	}
 }

@@ -3,9 +3,25 @@ package stream
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Pipeline stage telemetry, labeled per shard. Handles are pre-registered
+// at NewPipeline so the per-envelope record calls are allocation-free.
+var (
+	mQueueWait = obs.NewDurationHistogramVec("scilens_pipeline_queue_wait_seconds",
+		"Time a first-delivery envelope spent queued on its shard before a worker drained it.", "shard")
+	mRetryBackoff = obs.NewDurationHistogramVec("scilens_pipeline_retry_backoff_seconds",
+		"Backoff delays scheduled for retried envelopes.", "shard")
+	mDeadAge = obs.NewDurationHistogramVec("scilens_pipeline_dead_letter_age_seconds",
+		"Envelope age (since first enqueue) at the moment of dead-lettering.", "shard")
+	mBatchSize = obs.NewSizeHistogram("scilens_pipeline_batch_records",
+		"Micro-batch sizes drained per processing round.")
 )
 
 // Pipeline is the asynchronous staged-ingestion engine layered over the
@@ -59,6 +75,10 @@ type Envelope struct {
 	// notify, when set (EnqueueNotify), is marked done once the envelope
 	// reaches its final outcome. It rides along through retries.
 	notify *sync.WaitGroup
+	// enqueuedNs is the wall-clock nanosecond stamp of the first enqueue;
+	// it rides along through retries and feeds the queue-wait and
+	// dead-letter-age telemetry.
+	enqueuedNs int64
 }
 
 // Outcome classifies one envelope's processing result.
@@ -126,10 +146,21 @@ type pshard struct {
 	capacity int
 	paused   bool
 	stopped  bool
+
+	// Pre-registered telemetry handles for this shard's label set.
+	obsQueueWait *obs.Histogram
+	obsRetry     *obs.Histogram
+	obsDead      *obs.Histogram
 }
 
-func newPshard(capacity int) *pshard {
-	s := &pshard{capacity: capacity}
+func newPshard(capacity, index int) *pshard {
+	label := strconv.Itoa(index)
+	s := &pshard{
+		capacity:     capacity,
+		obsQueueWait: mQueueWait.With(label),
+		obsRetry:     mRetryBackoff.With(label),
+		obsDead:      mDeadAge.With(label),
+	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	return s
@@ -158,7 +189,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	p := &Pipeline{cfg: cfg}
 	p.idleCond = sync.NewCond(&p.idleMu)
 	for i := 0; i < cfg.Shards; i++ {
-		p.shards = append(p.shards, newPshard(cfg.QueueCapacity))
+		p.shards = append(p.shards, newPshard(cfg.QueueCapacity, i))
 	}
 	for i := range p.shards {
 		p.wg.Add(1)
@@ -244,7 +275,7 @@ func (p *Pipeline) enqueue(ctx context.Context, key string, payload []byte, bloc
 	if notify != nil {
 		notify.Add(1)
 	}
-	s.queue = append(s.queue, Envelope{Key: key, Payload: payload, notify: notify})
+	s.queue = append(s.queue, Envelope{Key: key, Payload: payload, notify: notify, enqueuedNs: time.Now().UnixNano()})
 	s.mu.Unlock()
 	s.notEmpty.Broadcast()
 	return nil
@@ -317,6 +348,15 @@ func (p *Pipeline) worker(i int) {
 			return
 		}
 		p.batches.Add(1)
+		mBatchSize.Observe(int64(len(batch)))
+		drained := time.Now().UnixNano()
+		for _, env := range batch {
+			// Retried envelopes (Attempt > 0) arrive via the ready buffer;
+			// their wait is the scheduled backoff, recorded separately.
+			if env.Attempt == 0 && env.enqueuedNs > 0 {
+				s.obsQueueWait.Observe(drained - env.enqueuedNs)
+			}
+		}
 		results := p.cfg.Process(i, batch)
 		for j, env := range batch {
 			var res Result
@@ -330,14 +370,16 @@ func (p *Pipeline) worker(i int) {
 			case OutcomeRetry:
 				env.Attempt++
 				if env.Attempt >= p.cfg.MaxAttempts {
-					p.deadLetter(env, res.Err)
+					p.deadLetter(s, env, res.Err)
 					break
 				}
 				p.retries.Add(1)
 				env := env
-				time.AfterFunc(p.backoffFor(env.Attempt), func() { s.requeueReady(env) })
+				backoff := p.backoffFor(env.Attempt)
+				s.obsRetry.ObserveDuration(backoff)
+				time.AfterFunc(backoff, func() { s.requeueReady(env) })
 			case OutcomeDead:
-				p.deadLetter(env, res.Err)
+				p.deadLetter(s, env, res.Err)
 			}
 		}
 	}
@@ -364,8 +406,11 @@ func (p *Pipeline) backoffFor(attempt int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
-func (p *Pipeline) deadLetter(env Envelope, err error) {
+func (p *Pipeline) deadLetter(s *pshard, env Envelope, err error) {
 	p.dead.Add(1)
+	if env.enqueuedNs > 0 {
+		s.obsDead.Observe(time.Now().UnixNano() - env.enqueuedNs)
+	}
 	if p.cfg.OnDead != nil {
 		p.cfg.OnDead(env, err)
 	}
@@ -454,6 +499,9 @@ type PipelineStats struct {
 }
 
 // Stats returns a snapshot of the pipeline counters.
+// Shards returns the pipeline's shard/worker count (after defaulting).
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
 func (p *Pipeline) Stats() PipelineStats {
 	depths := make([]int, len(p.shards))
 	for i, s := range p.shards {

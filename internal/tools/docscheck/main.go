@@ -6,7 +6,9 @@
 //     at a file that does not exist, or
 //  3. a command-line flag registered by cmd/scilens-server or
 //     cmd/scilens-ingest is missing from the docs/OPERATIONS.md flag
-//     tables.
+//     tables, or
+//  4. a metric family registered through the obs constructors anywhere
+//     under internal/ is missing from docs/OBSERVABILITY.md.
 //
 // Run from the repository root:
 //
@@ -36,6 +38,11 @@ var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // flagRe matches stdlib flag registrations like flag.String("addr", ...).
 var flagRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\("([^"]+)"`)
+
+// metricRe matches obs metric-family registrations like
+// obs.NewCounter("scilens_..._total", ...) — on the package helpers or a
+// Registry receiver.
+var metricRe = regexp.MustCompile(`\bNew(?:CounterVec|Counter|GaugeVec|GaugeFunc|Gauge|DurationHistogramVec|DurationHistogram|SizeHistogramVec|SizeHistogram)\("([a-z0-9_]+)"`)
 
 func main() {
 	var problems []string
@@ -75,6 +82,24 @@ func main() {
 		}
 	}
 
+	metrics, err := collectMetrics("internal")
+	if err != nil {
+		fatal(err)
+	}
+	if len(metrics) == 0 {
+		fatal(fmt.Errorf("no metric registrations found under internal/ — is docscheck running from the repo root?"))
+	}
+	obsDoc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		fatal(fmt.Errorf("docs/OBSERVABILITY.md: %w", err))
+	}
+	for _, m := range metrics {
+		// Metric families appear in OBSERVABILITY.md backticked.
+		if !strings.Contains(string(obsDoc), "`"+m+"`") {
+			problems = append(problems, fmt.Sprintf("metric %s registered under internal/ but absent from docs/OBSERVABILITY.md", m))
+		}
+	}
+
 	mds, err := markdownFiles()
 	if err != nil {
 		fatal(err)
@@ -93,7 +118,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d routes documented, %d flags documented, %d markdown files link-checked\n", len(routes), len(flags), len(mds))
+	fmt.Printf("docscheck: %d routes documented, %d flags documented, %d metrics documented, %d markdown files link-checked\n", len(routes), len(flags), len(metrics), len(mds))
 }
 
 // collectRoutes scans the package's Go sources for route registrations.
@@ -151,6 +176,43 @@ func collectFlags(dirs ...string) ([]string, error) {
 	}
 	sort.Strings(flags)
 	return flags, nil
+}
+
+// collectMetrics walks the internal tree for obs metric registrations,
+// skipping tests (throwaway registries) and internal/tools (fixtures).
+func collectMetrics(root string) ([]string, error) {
+	set := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == filepath.Join(root, "tools") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricRe.FindAllStringSubmatch(string(src), -1) {
+			set[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics := make([]string, 0, len(set))
+	for m := range set {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	return metrics, nil
 }
 
 // markdownFiles lists docs/*.md plus the root-level markdown files.

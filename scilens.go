@@ -211,6 +211,11 @@ func GenerateWorld(cfg WorldConfig) *World { return synth.GenerateWorld(cfg) }
 // insights, reviews; paper §3.3) for the platform on one handler.
 func NewHTTPServer(p *Platform) http.Handler { return api.NewServer(p) }
 
+// NewDebugHandler returns the standalone observability surface — GET
+// /metrics, /api/version, /api/debug/traces and net/http/pprof — for a
+// separate, non-public listener (the -debug-addr flag of both commands).
+func NewDebugHandler() http.Handler { return api.DebugHandler() }
+
 // BootstrapConfig parameterises Bootstrap.
 type BootstrapConfig struct {
 	// Seed drives the synthetic world (default 1).
