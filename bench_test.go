@@ -9,9 +9,12 @@
 package scilens_test
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	scilens "repro"
 	"repro/internal/analytics"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/rdbms"
 	"repro/internal/socialind"
+	"repro/internal/stream"
 	"repro/internal/synth"
 )
 
@@ -490,6 +494,205 @@ func BenchmarkStreamIngest(b *testing.B) {
 			perSec(b)
 		})
 	}
+	// streamed-adaptive pins the controller's overhead on a uniform,
+	// non-bursty feed: it must stay within a few percent of the fixed
+	// streamed-4 run (BENCH_PR9.json tracks the A/B).
+	b.Run("streamed-adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := scilens.New(scilens.Config{
+				StreamShards:        4,
+				StreamQueueCapacity: 4096,
+				StreamAdaptive:      true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, payload := range payloads {
+				if err := p.Pipeline.Enqueue(events[j].ArticleURL, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Pipeline.Flush()
+			if st := p.StreamStats(); st.DeadLettered != 0 {
+				b.Fatalf("dead letters: %+v", st)
+			}
+			p.Close()
+		}
+		b.StopTimer()
+		perSec(b)
+	})
+}
+
+// burstBlocks packs a world's reaction events into a flash-crowd
+// profile: the hottest articles' reaction cascades are grouped into
+// dense storm blocks (a handful of stories going viral at once) and the
+// rest becomes the steady background feed, in firehose order.
+// Deterministic for a given event slice.
+func burstBlocks(events []synth.Event, storms, stormTarget int) (blocks [][]int, background []int) {
+	byArticle := map[string][]int{}
+	for i := range events {
+		byArticle[events[i].ArticleURL] = append(byArticle[events[i].ArticleURL], i)
+	}
+	urls := make([]string, 0, len(byArticle))
+	for u := range byArticle {
+		urls = append(urls, u)
+	}
+	// Hottest first; URL tie-break keeps the order stable across runs.
+	sort.Slice(urls, func(a, b int) bool {
+		if len(byArticle[urls[a]]) != len(byArticle[urls[b]]) {
+			return len(byArticle[urls[a]]) > len(byArticle[urls[b]])
+		}
+		return urls[a] < urls[b]
+	})
+	var cur []int
+	for _, u := range urls {
+		if len(blocks) < storms {
+			cur = append(cur, byArticle[u]...)
+			if len(cur) >= stormTarget {
+				blocks = append(blocks, cur)
+				cur = nil
+			}
+			continue
+		}
+		background = append(background, byArticle[u]...)
+	}
+	if len(cur) > 0 {
+		blocks = append(blocks, cur)
+	}
+	sort.Ints(background) // original firehose order
+	return blocks, background
+}
+
+// BenchmarkBurstIngest measures shedding under a flash-crowd reaction
+// profile at deliberately modest per-shard queue capacity. Each
+// iteration pre-loads every article posting (block mode), then drives
+// the reaction feed in shed mode (TryEnqueue: a full shard drops the
+// event instead of parking the producer): the steady background paces
+// in short waves, and periodically a storm block — the hottest
+// articles' cascades back to back — arrives at line rate. The headline
+// metric is the shed percentage of the reaction feed. The A/B is a
+// fixed 4-shard pipeline vs the adaptive controller (grow to 16
+// shards, widen batches to 512): a storm overflows the static 4x256
+// aggregate queue, while the grown shard set absorbs it and the wider
+// batches drain the backlog between storms (BENCH_PR9.json records the
+// acceptance A/B). Some dead letters are expected: shedding part of a
+// reply tree orphans its descendants.
+func BenchmarkBurstIngest(b *testing.B) {
+	world := scilens.GenerateWorld(scilens.WorldConfig{
+		Seed: 6, Days: 10, RateScale: 0.6, ReactionScale: 0.5,
+	})
+	events := world.Events()
+	payloads := make([][]byte, len(events))
+	var postings, reactions []int
+	for i := range events {
+		p, err := events[i].Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = p
+		if events[i].Type == synth.EventTypePosting {
+			postings = append(postings, i)
+		} else {
+			reactions = append(reactions, i)
+		}
+	}
+	reactionEvents := make([]synth.Event, len(reactions))
+	for j, idx := range reactions {
+		reactionEvents[j] = events[idx]
+	}
+	blocks, background := burstBlocks(reactionEvents, 6, 2500)
+	// burstBlocks indexed into the reactions slice; map back to events.
+	remap := func(idxs []int) []int {
+		out := make([]int, len(idxs))
+		for j, k := range idxs {
+			out[j] = reactions[k]
+		}
+		return out
+	}
+	for i := range blocks {
+		blocks[i] = remap(blocks[i])
+	}
+	background = remap(background)
+	bgRun := len(background) / (len(blocks) + 1)
+
+	run := func(b *testing.B, cfg scilens.Config) {
+		var offered, shed, committed uint64
+		for i := 0; i < b.N; i++ {
+			p, err := scilens.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-load the articles so storms are pure reaction pressure,
+			// not orphaned cascades whose posting was shed.
+			for _, idx := range postings {
+				if err := p.Pipeline.Enqueue(events[idx].ArticleURL, payloads[idx]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Pipeline.Flush()
+			try := func(idx int) {
+				err := p.Pipeline.TryEnqueue(events[idx].ArticleURL, payloads[idx])
+				if err != nil && !errors.Is(err, stream.ErrFull) {
+					b.Fatal(err)
+				}
+			}
+			// feedBg paces the steady feed: short producer waves with brief
+			// gaps that also hand the (possibly single) core to the workers.
+			feedBg := func(seg []int) {
+				for w := 0; w < len(seg); w += 64 {
+					end := w + 64
+					if end > len(seg) {
+						end = len(seg)
+					}
+					for _, idx := range seg[w:end] {
+						try(idx)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			pos := 0
+			for _, blk := range blocks {
+				end := pos + bgRun
+				if end > len(background) {
+					end = len(background)
+				}
+				feedBg(background[pos:end])
+				pos = end
+				for _, idx := range blk {
+					try(idx) // the storm arrives at line rate
+				}
+			}
+			feedBg(background[pos:])
+			p.Pipeline.Flush()
+			st := p.StreamStats()
+			offered += uint64(len(background))
+			for _, blk := range blocks {
+				offered += uint64(len(blk))
+			}
+			shed += st.Shed
+			committed += st.Committed
+			p.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(100*float64(shed)/float64(offered), "shed_pct")
+		b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "committed/s")
+	}
+	b.Run("static-4", func(b *testing.B) {
+		run(b, scilens.Config{
+			StreamShards:        4,
+			StreamQueueCapacity: 256,
+		})
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		run(b, scilens.Config{
+			StreamShards:        4,
+			StreamQueueCapacity: 256,
+			StreamAdaptive:      true,
+			StreamMaxShards:     16,
+			StreamMaxBatch:      512,
+			StreamAdaptInterval: 10 * time.Millisecond,
+		})
+	})
 }
 
 // BenchmarkDailyMigration measures the full daily snapshot job over the

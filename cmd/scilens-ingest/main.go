@@ -12,10 +12,19 @@
 // checkpoint compacts the log into a snapshot — the kill-and-recover
 // deployment shape, measurable against the in-memory default.
 //
+// With -adaptive the pipeline self-tunes under load: sustained queue
+// pressure grows the worker-shard set (up to -max-shards) and widens the
+// micro-batch ceiling (up to -max-batch); slack shrinks both back.
+// -admit-rate adds per-source token-bucket admission with priority lanes
+// on the HTTP ingest path (the broker path this command drives is
+// trusted and bypasses admission).
+//
 // Usage:
 //
 //	scilens-ingest [-seed N] [-days N] [-scale F] [-consumers N] [-queue N]
-//	               [-shards N] [-batch N] [-sync] [-data-dir DIR] [-partitions N]
+//	               [-shards N] [-batch N] [-sync] [-adaptive] [-max-shards N]
+//	               [-max-batch N] [-admit-rate F] [-admit-burst F]
+//	               [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 //	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
 //	               [-debug-addr ADDR]
@@ -42,6 +51,11 @@ func main() {
 		shards     = flag.Int("shards", 4, "pipeline shard/worker count")
 		batch      = flag.Int("batch", 64, "pipeline micro-batch size")
 		syncMode   = flag.Bool("sync", false, "bypass the pipeline: synchronous one-event-at-a-time ingest")
+		adaptive   = flag.Bool("adaptive", false, "enable the adaptive controller: dynamic resharding and micro-batch tuning under load")
+		maxShards  = flag.Int("max-shards", 0, "adaptive shard-growth ceiling (0 = 4x -shards)")
+		maxBatch   = flag.Int("max-batch", 0, "adaptive micro-batch ceiling (0 = 8x -batch)")
+		admitRate  = flag.Float64("admit-rate", 0, "per-source steady admission rate on the HTTP ingest path, events/s (0 = admission off)")
+		admitBurst = flag.Float64("admit-burst", 0, "per-source burst-lane admission rate, events/s (0 = same as -admit-rate)")
 		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory)")
 		partitions = flag.Int("partitions", 0, "table lock-stripe count (0 = default)")
 		fsync      = flag.String("fsync", "checkpoint", "WAL fsync policy: checkpoint, interval[:dur] or always")
@@ -66,13 +80,29 @@ func main() {
 		}()
 	}
 
-	if err := run(*seed, *days, *scale, *reactions, *consumers, *queue, *shards, *batch, *syncMode, *dataDir, *partitions, *fsync, *deltaLimit, *ckptEvery, *ckptBytes); err != nil {
+	cfg := scilens.Config{
+		QueueCapacity:        *queue,
+		StreamShards:         *shards,
+		StreamBatchSize:      *batch,
+		StreamAdaptive:       *adaptive,
+		StreamMaxShards:      *maxShards,
+		StreamMaxBatch:       *maxBatch,
+		AdmissionRate:        *admitRate,
+		AdmissionBurst:       *admitBurst,
+		DataDir:              *dataDir,
+		StoragePartitions:    *partitions,
+		WALFsyncPolicy:       *fsync,
+		CheckpointDeltaLimit: *deltaLimit,
+		CheckpointInterval:   *ckptEvery,
+		CheckpointWALBytes:   *ckptBytes,
+	}
+	if err := run(*seed, *days, *scale, *reactions, *consumers, *syncMode, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "scilens-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, days int, scale, reactions float64, consumers, queue, shards, batch int, syncMode bool, dataDir string, partitions int, fsync string, deltaLimit int, ckptEvery time.Duration, ckptBytes int64) (err error) {
+func run(seed int64, days int, scale, reactions float64, consumers int, syncMode bool, cfg scilens.Config) (err error) {
 	world := scilens.GenerateWorld(scilens.WorldConfig{
 		Seed: seed, Days: days, RateScale: scale, ReactionScale: reactions,
 	})
@@ -80,17 +110,7 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 	fmt.Printf("world: %d articles, %d events over %d days\n",
 		len(world.Articles), len(events), world.Days)
 
-	platform, err := scilens.New(scilens.Config{
-		QueueCapacity:        queue,
-		StreamShards:         shards,
-		StreamBatchSize:      batch,
-		DataDir:              dataDir,
-		StoragePartitions:    partitions,
-		WALFsyncPolicy:       fsync,
-		CheckpointDeltaLimit: deltaLimit,
-		CheckpointInterval:   ckptEvery,
-		CheckpointWALBytes:   ckptBytes,
-	})
+	platform, err := scilens.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -124,9 +144,12 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 	stats := platform.Stats()
 	perSec := float64(n) / wall.Seconds()
 	articlesPerSec := float64(stats.Postings) / wall.Seconds()
-	mode := fmt.Sprintf("streamed, %d consumers, %d shards, batch %d", consumers, shards, batch)
+	ss := platform.StreamStats()
+	mode := fmt.Sprintf("streamed, %d consumers, %d shards, batch %d", consumers, ss.Shards, cfg.StreamBatchSize)
 	if syncMode {
 		mode = "synchronous"
+	} else if cfg.StreamAdaptive {
+		mode += fmt.Sprintf(" (adaptive: %d reshards, batch ceiling %d)", ss.Reshards, ss.BatchMax)
 	}
 	fmt.Printf("processed:       %d events in %v (%s)\n", n, wall.Round(time.Millisecond), mode)
 	fmt.Printf("throughput:      %.0f events/s, %.0f articles/s\n", perSec, articlesPerSec)
@@ -134,9 +157,8 @@ func run(seed int64, days int, scale, reactions float64, consumers, queue, shard
 	fmt.Printf("outcomes:        postings=%d reactions=%d parse-failures=%d orphans=%d\n",
 		stats.Postings, stats.Reactions, stats.ParseFailures, stats.OrphanReactions)
 	if !syncMode {
-		ss := platform.StreamStats()
-		fmt.Printf("pipeline:        enqueued=%d evaluated=%d committed=%d batches=%d retried=%d dead-lettered=%d shed=%d\n",
-			ss.Enqueued, ss.Evaluated, ss.Committed, ss.Batches, ss.Retried, ss.DeadLettered, ss.Shed)
+		fmt.Printf("pipeline:        enqueued=%d evaluated=%d committed=%d batches=%d retried=%d dead-lettered=%d shed=%d throttled=%d\n",
+			ss.Enqueued, ss.Evaluated, ss.Committed, ss.Batches, ss.Retried, ss.DeadLettered, ss.Shed, ss.Throttled)
 	}
 	if st := platform.StorageStats(); st.Durable {
 		fmt.Printf("storage:         rows=%d wal-records=%d wal-bytes=%d partitions(articles)=%d fsync=%s fsyncs=%d\n",

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stream"
@@ -44,11 +46,24 @@ type ingestRequest struct {
 	Mode   string        `json:"mode"`
 }
 
-// ingestResponse reports a bulk ingest. Dropped is non-zero only in shed
-// mode (status 429).
+// ingestResponse reports a bulk ingest. Dropped is non-zero only on a 429
+// (shed-mode full shard, or a throttled source); Throttled marks the 429s
+// caused by per-source admission rather than full queues.
 type ingestResponse struct {
-	Accepted int `json:"accepted"`
-	Dropped  int `json:"dropped"`
+	Accepted  int  `json:"accepted"`
+	Dropped   int  `json:"dropped"`
+	Throttled bool `json:"throttled,omitempty"`
+}
+
+// retryAfterSeconds renders a backoff hint as a Retry-After header value:
+// whole seconds, rounded up, at least 1 (RFC 9110 allows 0, but "retry
+// immediately" defeats the point of shedding).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func (s *IngestService) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -92,10 +107,28 @@ func (s *IngestService) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; nothing useful can be written.
 			return
 		case errors.Is(err, stream.ErrFull):
-			// Shed: report the split and let the caller back off.
+			// Shed: report the split with a Retry-After derived from the
+			// pipeline's current drain rate, so a well-behaved producer
+			// retries when the backlog has plausibly cleared.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.platform.Pipeline.RetryAfter()))
 			writeJSON(w, http.StatusTooManyRequests, ingestResponse{
 				Accepted: accepted,
 				Dropped:  len(req.Events) - accepted,
+			})
+			return
+		case errors.Is(err, stream.ErrThrottled):
+			// Per-source admission rejection: the throttle error knows when
+			// the source's token buckets refill.
+			var te *stream.ThrottleError
+			retry := s.platform.Pipeline.RetryAfter()
+			if errors.As(err, &te) {
+				retry = te.RetryAfter
+			}
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			writeJSON(w, http.StatusTooManyRequests, ingestResponse{
+				Accepted:  accepted,
+				Dropped:   len(req.Events) - accepted,
+				Throttled: true,
 			})
 			return
 		case errors.Is(err, stream.ErrClosed), errors.Is(err, core.ErrDegraded):

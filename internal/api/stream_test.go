@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -364,5 +365,112 @@ func TestStreamSSEDeliversCommittedAssessments(t *testing.T) {
 	}
 	if !strings.Contains(data, posting.ArticleID) || !strings.Contains(data, `"composite"`) {
 		t.Errorf("assessment payload: %s", data)
+	}
+}
+
+// TestShedResponseCarriesRetryAfter pins the backpressure contract on the
+// 429 path: a shed response tells the producer when to come back, derived
+// from the pipeline's drain-rate estimate (floor: one second).
+func TestShedResponseCarriesRetryAfter(t *testing.T) {
+	p, srv := streamFixture(t, core.Config{StreamShards: 1, StreamQueueCapacity: 1})
+	p.Pipeline.Pause()
+	events := worldEvents(45)[:3]
+	rec, _ := doJSON(t, srv, "POST", "/api/ingest", map[string]any{
+		"events": events, "mode": "shed",
+	})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status: %d (%s)", rec.Code, rec.Body.String())
+	}
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+	p.Pipeline.Resume()
+	p.Pipeline.Flush()
+}
+
+// TestThrottledSourceAnswers429WithRetryAfter drives one hot source past
+// its per-source admission budget and pins the response shape: 429,
+// throttled flag, Retry-After from the token-bucket refill time.
+func TestThrottledSourceAnswers429WithRetryAfter(t *testing.T) {
+	// SteadyRate 0.5 => steady depth 1, burst depth 2: the 4th same-source
+	// event throttles. The fixture clock is frozen, so buckets never refill.
+	p, srv := streamFixture(t, core.Config{AdmissionRate: 0.5})
+	events := make([]synth.Event, 6)
+	for i := range events {
+		events[i] = synth.Event{
+			Type: synth.EventTypePosting, PostID: fmt.Sprintf("hot-%d", i),
+			OutletID: "hot", ArticleURL: "https://hot.example.com/story",
+			ArticleID: "hot-story", ArticleHTML: "<html><body><p>breaking</p></body></html>",
+		}
+	}
+	rec, payload := doJSON(t, srv, "POST", "/api/ingest", map[string]any{
+		"events": events, "mode": "shed",
+	})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if payload["throttled"] != true {
+		t.Fatalf("throttled flag missing: %v", payload)
+	}
+	if got := int(payload["accepted"].(float64)); got != 3 {
+		t.Errorf("accepted = %d, want 3 (steady 1 + burst 2)", got)
+	}
+	ra := rec.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+	p.Pipeline.Flush()
+
+	ss := p.StreamStats()
+	if ss.Throttled != 1 {
+		// The handler stops at the first throttle, so exactly one
+		// rejection is counted.
+		t.Errorf("throttled counter = %d, want 1", ss.Throttled)
+	}
+	if len(ss.Admission) != 1 || ss.Admission[0].Source != "hot.example.com" {
+		t.Fatalf("admission stats: %+v", ss.Admission)
+	}
+	if a := ss.Admission[0]; a.Steady != 1 || a.Burst != 2 || a.Throttled != 1 {
+		t.Errorf("per-source admission: %+v", a)
+	}
+}
+
+// TestStatsReportAdaptiveShape pins the new adaptive-ingestion fields on
+// GET /api/stats: shard count, live batch ceiling, and the per-shard
+// breakdown with lane shed counters.
+func TestStatsReportAdaptiveShape(t *testing.T) {
+	p, srv := streamFixture(t, core.Config{StreamShards: 2})
+	events := worldEvents(46)[:6]
+	rec, _ := doJSON(t, srv, "POST", "/api/ingest", map[string]any{"events": events})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", rec.Code)
+	}
+	p.Pipeline.Flush()
+	rec, payload := doJSON(t, srv, "GET", "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	pipeline := payload["pipeline"].(map[string]any)
+	if int(pipeline["shards"].(float64)) != 2 {
+		t.Errorf("shards: %v", pipeline["shards"])
+	}
+	if int(pipeline["batch_max"].(float64)) == 0 {
+		t.Errorf("batch_max missing: %v", pipeline["batch_max"])
+	}
+	shardStats, ok := pipeline["shard_stats"].([]any)
+	if !ok || len(shardStats) != 2 {
+		t.Fatalf("shard_stats: %v", pipeline["shard_stats"])
+	}
+	first := shardStats[0].(map[string]any)
+	for _, field := range []string{"id", "steady", "burst", "shed_steady", "shed_burst"} {
+		if _, ok := first[field]; !ok {
+			t.Errorf("shard_stats missing %q: %v", field, first)
+		}
 	}
 }

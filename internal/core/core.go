@@ -179,6 +179,31 @@ type Config struct {
 	// attempt up to StreamMaxBackoff (default 250ms).
 	StreamBackoff    time.Duration
 	StreamMaxBackoff time.Duration
+	// StreamAdaptive enables the pipeline's self-tuning controller:
+	// sustained queue pressure grows the shard set (up to
+	// StreamMaxShards) and widens the micro-batch ceiling (up to
+	// StreamMaxBatch); sustained slack shrinks both back. Off by default
+	// — the pipeline then stays at its assembly-time shape.
+	StreamAdaptive bool
+	// StreamMaxShards bounds adaptive shard growth (default 4×StreamShards).
+	StreamMaxShards int
+	// StreamMaxBatch bounds adaptive micro-batch widening (default
+	// 8×StreamBatchSize).
+	StreamMaxBatch int
+	// StreamAdaptInterval is the controller's tick cadence (default
+	// 250ms; negative disables the background ticker, for deterministic
+	// tests that call Pipeline.AdaptTick themselves).
+	StreamAdaptInterval time.Duration
+	// AdmissionRate, when positive, enables per-source token-bucket
+	// admission on the HTTP ingest path: each source (the event's outlet
+	// host) is admitted to the steady lane at this rate (events/sec),
+	// overflows into the lower-priority burst lane at the same rate, and
+	// is throttled with a 429 + Retry-After past both budgets. Broker
+	// ingestion and dead-letter replay are trusted paths and bypass
+	// admission.
+	AdmissionRate float64
+	// AdmissionBurst is the burst-lane rate (default AdmissionRate).
+	AdmissionBurst float64
 
 	// DataDir is the durable home of the real-time store. When set,
 	// NewPlatform recovers the previous state (snapshot + WAL replay) from
@@ -356,18 +381,36 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	})
 	p.Engine.EnsureModelGenerationAbove(maxGen)
 	p.Bus = stream.NewBus()
-	p.Pipeline = stream.NewPipeline(stream.PipelineConfig{
+	pcfg := stream.PipelineConfig{
 		Shards:        cfg.StreamShards,
 		QueueCapacity: cfg.StreamQueueCapacity,
 		MaxBatch:      cfg.StreamBatchSize,
 		MaxAttempts:   cfg.StreamMaxAttempts,
 		Backoff:       cfg.StreamBackoff,
 		MaxBackoff:    cfg.StreamMaxBackoff,
+		Now:           cfg.Clock,
 		Process:       p.processBatch,
 		OnDead:        p.writeDeadLetter,
-	})
-	p.obsEval = make([]*obs.Histogram, p.Pipeline.Shards())
-	p.obsCommit = make([]*obs.Histogram, p.Pipeline.Shards())
+	}
+	if cfg.StreamAdaptive {
+		pcfg.Adaptive = stream.AdaptiveConfig{
+			Enabled:   true,
+			MaxShards: cfg.StreamMaxShards,
+			MaxBatch:  cfg.StreamMaxBatch,
+			Interval:  cfg.StreamAdaptInterval,
+		}
+	}
+	if cfg.AdmissionRate > 0 {
+		pcfg.Admission = &stream.AdmissionConfig{
+			SteadyRate: cfg.AdmissionRate,
+			BurstRate:  cfg.AdmissionBurst,
+		}
+	}
+	p.Pipeline = stream.NewPipeline(pcfg)
+	// Stage telemetry is sized to the controller's growth ceiling: shard
+	// ids are reused on shrink/regrow, so ids never exceed this bound.
+	p.obsEval = make([]*obs.Histogram, p.Pipeline.MaxShards())
+	p.obsCommit = make([]*obs.Histogram, p.Pipeline.MaxShards())
 	for i := range p.obsEval {
 		s := strconv.Itoa(i)
 		p.obsEval[i] = mEvalStage.With(s)

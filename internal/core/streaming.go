@@ -267,7 +267,10 @@ func (p *Platform) publishAssessment(ev *synth.Event, report *indicators.Report)
 
 // StreamEvent encodes and enqueues one firehose event onto the ingestion
 // pipeline. block selects the backpressure mode: true parks the caller
-// while the target shard is full, false sheds with stream.ErrFull.
+// while the target shard is full, false sheds with stream.ErrFull. This
+// is the untrusted (HTTP ingest) entry point, so it runs per-source
+// admission when Config.AdmissionRate enables it — a throttled source
+// gets stream.ErrThrottled with a retry hint.
 func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
 	if p.degraded.Load() {
 		return ErrDegraded
@@ -277,9 +280,9 @@ func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
 		return err
 	}
 	if block {
-		return p.Pipeline.Enqueue(ev.ArticleURL, payload)
+		return p.Pipeline.EnqueueSource(eventSource(ev), ev.ArticleURL, payload)
 	}
-	return p.Pipeline.TryEnqueue(ev.ArticleURL, payload)
+	return p.Pipeline.TryEnqueueSource(eventSource(ev), ev.ArticleURL, payload)
 }
 
 // StreamEventCtx is StreamEvent in blocking mode with cancellation: a
@@ -293,7 +296,19 @@ func (p *Platform) StreamEventCtx(ctx context.Context, ev *synth.Event) error {
 	if err != nil {
 		return err
 	}
-	return p.Pipeline.EnqueueCtx(ctx, ev.ArticleURL, payload)
+	return p.Pipeline.EnqueueSourceCtx(ctx, eventSource(ev), ev.ArticleURL, payload)
+}
+
+// eventSource is the admission identity of one firehose event: the
+// article's host (the outlet's domain), falling back to the outlet id for
+// events whose URL does not parse. Reactions inherit their article's
+// source, which is exactly right — a viral cascade is that article's
+// burst, not the reacting users'.
+func eventSource(ev *synth.Event) string {
+	if h := hostOf(ev.ArticleURL); h != "" {
+		return h
+	}
+	return ev.OutletID
 }
 
 // writeDeadLetter is the pipeline's OnDead hook: it records the event with
@@ -451,6 +466,7 @@ type StreamStats struct {
 	// Pipeline counters (see stream.PipelineStats).
 	Enqueued     uint64 `json:"enqueued"`
 	Shed         uint64 `json:"shed"`
+	Throttled    uint64 `json:"throttled"`
 	Evaluated    uint64 `json:"evaluated"`
 	Committed    uint64 `json:"committed"`
 	Retried      uint64 `json:"retried"`
@@ -459,6 +475,18 @@ type StreamStats struct {
 	Inflight     int64  `json:"inflight"`
 	QueueDepth   int    `json:"queue_depth"`
 	QueueDepths  []int  `json:"queue_depths"`
+	// Adaptive-ingestion state: the current shard count, completed
+	// shard-set transitions (with Resharding marking one in progress), and
+	// the live micro-batch ceiling.
+	Shards     int    `json:"shards"`
+	Reshards   uint64 `json:"reshards"`
+	Resharding bool   `json:"resharding,omitempty"`
+	BatchMax   int    `json:"batch_max"`
+	// ShardStats breaks queue depth and shed counts down per shard and
+	// lane; Admission is the per-source admitted/throttled breakdown (nil
+	// unless Config.AdmissionRate enables admission).
+	ShardStats []stream.ShardStats      `json:"shard_stats"`
+	Admission  []stream.SourceAdmission `json:"admission,omitempty"`
 	// Malformed counts payloads that failed to decode (a subset of
 	// DeadLettered).
 	Malformed uint64 `json:"malformed"`
@@ -484,6 +512,7 @@ func (p *Platform) StreamStats() StreamStats {
 	return StreamStats{
 		Enqueued:          ps.Enqueued,
 		Shed:              ps.Shed,
+		Throttled:         ps.Throttled,
 		Evaluated:         p.evaluated.Load(),
 		Committed:         ps.Committed,
 		Retried:           ps.Retried,
@@ -492,6 +521,12 @@ func (p *Platform) StreamStats() StreamStats {
 		Inflight:          ps.Inflight,
 		QueueDepth:        depth,
 		QueueDepths:       ps.QueueDepths,
+		Shards:            ps.Shards,
+		Reshards:          ps.Reshards,
+		Resharding:        ps.Resharding,
+		BatchMax:          ps.MaxBatch,
+		ShardStats:        ps.PerShard,
+		Admission:         ps.Admission,
 		Malformed:         p.malformed.Load(),
 		DeadLetterBacklog: p.dead.Len(),
 		DeadLetterEvicted: p.dlEvicted.Load(),

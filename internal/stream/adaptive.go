@@ -1,0 +1,149 @@
+package stream
+
+import "time"
+
+// AdaptiveConfig configures the pipeline's self-tuning controller. Each
+// tick reads one signal — the mean queue-fill fraction across shards —
+// and turns two knobs at different speeds. Micro-batching adapts fast and
+// in both directions: backlog widens the batch ceiling toward MaxBatch
+// (commit amortisation), shallow queues shrink it toward MinBatch
+// (latency). Resharding adapts slowly and with hysteresis: GrowAfter
+// consecutive pressured ticks double the shard set, ShrinkAfter
+// consecutive idle ticks halve it — growth is eager because a burst is
+// hurting now, shrink is reluctant because a transition has a cost and
+// bursts recur.
+type AdaptiveConfig struct {
+	// Enabled turns the controller on. The zero value leaves the pipeline
+	// static (the pre-adaptive behaviour).
+	Enabled bool
+	// MinShards and MaxShards bound resharding (defaults: the assembly
+	// Shards count and 4× it).
+	MinShards int
+	MaxShards int
+	// MinBatch and MaxBatch bound the micro-batch ceiling (defaults: the
+	// assembly MaxBatch and 8× it).
+	MinBatch int
+	MaxBatch int
+	// Interval is the production tick cadence (default 250ms). Negative
+	// disables the background ticker while leaving the controller enabled,
+	// so tests drive AdaptTick deterministically.
+	Interval time.Duration
+	// HighWater and LowWater are the mean queue-fill fractions that count
+	// as pressure and as slack (defaults 0.5 and 0.05).
+	HighWater float64
+	LowWater  float64
+	// GrowAfter and ShrinkAfter are the consecutive pressured (idle) tick
+	// counts before the shard set doubles (halves); defaults 2 and 40.
+	GrowAfter   int
+	ShrinkAfter int
+}
+
+// withDefaults resolves the bounds against the (already-defaulted)
+// pipeline config.
+func (ad AdaptiveConfig) withDefaults(cfg PipelineConfig) AdaptiveConfig {
+	if !ad.Enabled {
+		return ad
+	}
+	if ad.MinShards <= 0 {
+		ad.MinShards = cfg.Shards
+	}
+	if ad.MaxShards < ad.MinShards {
+		ad.MaxShards = 4 * cfg.Shards
+	}
+	if ad.MaxShards < ad.MinShards {
+		ad.MaxShards = ad.MinShards
+	}
+	if ad.MinBatch <= 0 {
+		ad.MinBatch = cfg.MaxBatch
+	}
+	if ad.MaxBatch < ad.MinBatch {
+		ad.MaxBatch = 8 * cfg.MaxBatch
+	}
+	if ad.MaxBatch < ad.MinBatch {
+		ad.MaxBatch = ad.MinBatch
+	}
+	if ad.Interval == 0 {
+		ad.Interval = 250 * time.Millisecond
+	}
+	if ad.HighWater <= 0 {
+		ad.HighWater = 0.5
+	}
+	if ad.LowWater <= 0 {
+		ad.LowWater = 0.05
+	}
+	if ad.GrowAfter <= 0 {
+		ad.GrowAfter = 2
+	}
+	if ad.ShrinkAfter <= 0 {
+		ad.ShrinkAfter = 40
+	}
+	return ad
+}
+
+// AdaptTick runs one controller step against the current queue state.
+// Exported so tests drive the controller deterministically; the
+// production loop calls it on a ticker. Single-caller by contract — the
+// ticker goroutine or the test, never both.
+func (p *Pipeline) AdaptTick() {
+	ad := p.cfg.Adaptive
+	if !ad.Enabled {
+		return
+	}
+	shards := p.Shards()
+	fill := float64(p.Depth()) / float64(shards*p.cfg.QueueCapacity)
+
+	cur := int(p.maxBatch.Load())
+	switch {
+	case fill >= ad.HighWater:
+		if next := min(cur*2, ad.MaxBatch); next != cur {
+			p.maxBatch.Store(int64(next))
+			mBatchMax.Set(int64(next))
+		}
+	case fill <= ad.LowWater:
+		if next := max(cur/2, ad.MinBatch); next != cur {
+			p.maxBatch.Store(int64(next))
+			mBatchMax.Set(int64(next))
+		}
+	}
+
+	// Never stack transitions: while one is draining, the fill signal is
+	// half about the old shard set and proves nothing about the new one.
+	if p.Resharding() {
+		return
+	}
+	switch {
+	case fill >= ad.HighWater:
+		p.adaptHigh++
+		p.adaptLow = 0
+		if p.adaptHigh >= ad.GrowAfter && shards < ad.MaxShards {
+			p.adaptHigh = 0
+			_ = p.Reshard(min(shards*2, ad.MaxShards))
+		}
+	case fill <= ad.LowWater:
+		p.adaptLow++
+		p.adaptHigh = 0
+		if p.adaptLow >= ad.ShrinkAfter && shards > ad.MinShards {
+			p.adaptLow = 0
+			_ = p.Reshard(max(shards/2, ad.MinShards))
+		}
+	default:
+		p.adaptHigh, p.adaptLow = 0, 0
+	}
+}
+
+// adaptLoop is the production controller cadence. The ticker is cadence,
+// not data: no stored row depends on when a tick fires, only queue-state
+// telemetry does.
+func (p *Pipeline) adaptLoop() {
+	defer p.adaptWG.Done()
+	t := time.NewTicker(p.cfg.Adaptive.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.adaptStop:
+			return
+		case <-t.C:
+			p.AdaptTick()
+		}
+	}
+}

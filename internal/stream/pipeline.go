@@ -2,7 +2,9 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -12,7 +14,9 @@ import (
 )
 
 // Pipeline stage telemetry, labeled per shard. Handles are pre-registered
-// at NewPipeline so the per-envelope record calls are allocation-free.
+// at shard construction so the per-envelope record calls are
+// allocation-free. Shard ids of removed shards are reused on later growth,
+// so label cardinality stays bounded by the largest shard set ever run.
 var (
 	mQueueWait = obs.NewDurationHistogramVec("scilens_pipeline_queue_wait_seconds",
 		"Time a first-delivery envelope spent queued on its shard before a worker drained it.", "shard")
@@ -22,34 +26,118 @@ var (
 		"Envelope age (since first enqueue) at the moment of dead-lettering.", "shard")
 	mBatchSize = obs.NewSizeHistogram("scilens_pipeline_batch_records",
 		"Micro-batch sizes drained per processing round.")
+	mShardCount = obs.NewGauge("scilens_pipeline_shards",
+		"Current pipeline worker-shard count (moves under adaptive resharding).")
+	mReshards = obs.NewCounter("scilens_pipeline_reshards_total",
+		"Completed shard-set transitions, grow and shrink.")
+	mBatchMax = obs.NewGauge("scilens_pipeline_batch_max",
+		"Live micro-batch ceiling (MaxBatch when the adaptive controller is off).")
+	mShed = obs.NewCounterVec("scilens_pipeline_shed_total",
+		"Envelopes rejected at enqueue because a shard lane was full, by shard and lane.", "shard", "lane")
+	mAdmission = obs.NewCounterVec("scilens_pipeline_admission_total",
+		"Per-source admission decisions by outcome (steady, burst, throttled).", "decision")
 )
+
+// lane selects one of a shard's two priority queues. The steady lane
+// carries baseline traffic; the burst lane carries a hot source's
+// overflow, dequeued at lower weight so one viral story cannot starve
+// every other source's feed.
+type lane int
+
+const (
+	// LaneSteady is the default, higher-weight lane.
+	LaneSteady lane = iota
+	// LaneBurst is the lower-weight overflow lane admission routes a hot
+	// source to once its steady budget is spent.
+	LaneBurst
+	numLanes
+)
+
+func (l lane) String() string {
+	if l == LaneBurst {
+		return "burst"
+	}
+	return "steady"
+}
 
 // Pipeline is the asynchronous staged-ingestion engine layered over the
 // broker abstractions of this package: producers enqueue raw keyed
-// envelopes onto sharded bounded queues (key-hash routing preserves
-// per-key ordering, e.g. an article's posting always precedes its
-// reactions), and one worker per shard drains micro-batches through a
-// caller-supplied batch processor. Per-envelope outcomes drive the rest of
-// the machinery: failures retry on the same shard with capped exponential
-// backoff and are handed to the dead-letter callback once the attempt
-// budget is exhausted.
+// envelopes onto sharded bounded queues (key routing preserves per-key
+// ordering, e.g. an article's posting always precedes its reactions), and
+// one worker per shard drains micro-batches through a caller-supplied
+// batch processor. Per-envelope outcomes drive the rest of the machinery:
+// failures retry on the same shard with capped exponential backoff and
+// are handed to the dead-letter callback once the attempt budget is
+// exhausted.
+//
+// Routing is rendezvous (highest-random-weight) hashing over a versioned
+// shard set, so Reshard can grow or shrink the worker pool live — see
+// Reshard for the ordering fence. Each shard runs two priority lanes
+// drained under deficit-weighted round-robin; per-source token-bucket
+// admission (PipelineConfig.Admission) decides which lane a source's
+// traffic rides in, or throttles it outright.
 //
 // Backpressure is explicit and caller-selectable: Enqueue blocks while the
-// target shard is at capacity, TryEnqueue sheds with ErrFull (the API
+// target lane is at capacity, TryEnqueue sheds with ErrFull (the API
 // layer's 429 path). Flush waits for every accepted envelope to reach a
 // final outcome (committed or dead-lettered), which is what makes a
 // graceful drain possible; Close drains and stops the workers.
 type Pipeline struct {
-	cfg    PipelineConfig
-	shards []*pshard
-	wg     sync.WaitGroup
+	cfg PipelineConfig
+	now func() time.Time
+	wg  sync.WaitGroup
 
-	enqueued atomic.Uint64
-	shed     atomic.Uint64
-	commits  atomic.Uint64
-	retries  atomic.Uint64
-	dead     atomic.Uint64
-	batches  atomic.Uint64
+	// Routing state. active is the authoritative shard set; during a
+	// transition next holds the target set and leaving the shards being
+	// drained out. epoch stamps every envelope with the routing version it
+	// was admitted under; transitions are serialised, so at most two
+	// epochs are ever live and in-flight counts index by epoch parity.
+	routerMu      sync.RWMutex
+	active        []*pshard
+	next          []*pshard
+	leaving       []*pshard
+	epoch         uint64
+	epochInflight [2]atomic.Int64
+
+	// Transition bookkeeping. transDone is closed when the pending
+	// transition completes; Reshard waits on it before starting another.
+	// The shard-id allocator lives here too: freed ids are reused
+	// smallest-first so ids (and the telemetry labels they feed) never
+	// exceed the largest set size.
+	transMu       sync.Mutex
+	transActive   atomic.Bool
+	transPending  bool
+	transOldEpoch uint64
+	transDone     chan struct{}
+	nextShardID   int
+	freeShardIDs  []int
+
+	// reshardMu serialises Reshard initiators (the adaptive controller
+	// and any manual caller).
+	reshardMu sync.Mutex
+
+	// maxBatch is the live micro-batch ceiling; the adaptive controller
+	// moves it, workers read it per drain round.
+	maxBatch atomic.Int64
+
+	sticky    stickyLanes
+	admission *admission
+	rate      drainRate
+
+	// Adaptive-controller state; AdaptTick is the single writer.
+	adaptHigh int
+	adaptLow  int
+	adaptStop chan struct{}
+	adaptWG   sync.WaitGroup
+
+	enqueued  atomic.Uint64
+	shed      atomic.Uint64
+	throttled atomic.Uint64
+	commits   atomic.Uint64
+	retries   atomic.Uint64
+	dead      atomic.Uint64
+	batches   atomic.Uint64
+	reshards  atomic.Uint64
 
 	// inflight counts envelopes accepted but not yet at a final outcome
 	// (queued, in a batch, or waiting out a retry backoff). Flush waits for
@@ -58,6 +146,7 @@ type Pipeline struct {
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
 
+	paused atomic.Bool
 	closed atomic.Bool
 }
 
@@ -72,11 +161,16 @@ type Envelope struct {
 	// Attempt is the number of failed processing attempts so far.
 	Attempt int
 
+	// lane is the priority lane the envelope was admitted to.
+	lane lane
+	// epoch is the routing-table version the envelope was admitted under;
+	// the resharding fence waits on per-epoch in-flight counts.
+	epoch uint64
 	// notify, when set (EnqueueNotify), is marked done once the envelope
 	// reaches its final outcome. It rides along through retries.
 	notify *sync.WaitGroup
-	// enqueuedNs is the wall-clock nanosecond stamp of the first enqueue;
-	// it rides along through retries and feeds the queue-wait and
+	// enqueuedNs is the clock's nanosecond stamp of the first enqueue; it
+	// rides along through retries and feeds the queue-wait and
 	// dead-letter-age telemetry.
 	enqueuedNs int64
 }
@@ -105,15 +199,19 @@ type Result struct {
 // PipelineConfig configures NewPipeline. Process is required; everything
 // else has working defaults.
 type PipelineConfig struct {
-	// Shards is the queue/worker count (default 4). Per-key ordering holds
-	// within a shard, so more shards buy parallelism across keys.
+	// Shards is the initial queue/worker count (default 4). Per-key
+	// ordering holds within a shard, so more shards buy parallelism
+	// across keys. Reshard (and the adaptive controller) can change the
+	// count live.
 	Shards int
-	// QueueCapacity bounds each shard's queue (default 1024). A full shard
-	// blocks Enqueue and sheds TryEnqueue.
+	// QueueCapacity bounds each shard lane's queue (default 1024). A full
+	// lane blocks Enqueue and sheds TryEnqueue.
 	QueueCapacity int
 	// MaxBatch is the micro-batch size a worker drains per processing round
 	// (default 64) — the amortisation unit for batched evaluation and
-	// batched store commits.
+	// batched store commits. The adaptive controller treats it as the
+	// starting point and moves the live ceiling between Adaptive.MinBatch
+	// and Adaptive.MaxBatch.
 	MaxBatch int
 	// MaxAttempts is the per-envelope attempt budget before dead-lettering
 	// (default 3).
@@ -122,10 +220,26 @@ type PipelineConfig struct {
 	// doubles it up to MaxBackoff (default 250ms).
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// SteadyWeight and BurstWeight are the deficit-round-robin dequeue
+	// quanta of the two priority lanes (default 2 and 1): per scheduling
+	// pass a backlogged steady lane is granted SteadyWeight envelopes for
+	// every BurstWeight granted to a backlogged burst lane.
+	SteadyWeight int
+	BurstWeight  int
+	// Admission, when set, enables per-source token-bucket admission on
+	// the source-aware enqueue paths (EnqueueSource and friends). Nil
+	// admits everything to the steady lane.
+	Admission *AdmissionConfig
+	// Adaptive configures the self-tuning controller; zero value = off.
+	Adaptive AdaptiveConfig
+	// Now is the injected clock used for envelope stamps, admission
+	// refill, and the drain-rate estimator (default time.Now). Tests and
+	// the platform inject a deterministic clock.
+	Now func() time.Time
 	// Process handles one micro-batch for one shard and returns one Result
 	// per envelope, index-aligned (a short result slice treats the missing
 	// tail as committed). It runs concurrently across shards and must be
-	// safe for that.
+	// safe for that. The shard argument is the shard's stable id.
 	Process func(shard int, batch []Envelope) []Result
 	// OnDead, when set, receives every dead-lettered envelope with its
 	// final failure reason (the platform writes it to the dead_letters
@@ -133,33 +247,68 @@ type PipelineConfig struct {
 	OnDead func(env Envelope, err error)
 }
 
-// pshard is one bounded FIFO plus its retry re-injection buffer. ready
-// holds envelopes whose backoff elapsed; they bypass the capacity bound
-// (their slot was accounted for when first enqueued) and are drained ahead
-// of the main queue.
+// laneQueue is one priority lane's FIFO plus its deficit-round-robin
+// credit balance.
+type laneQueue struct {
+	queue   []Envelope
+	deficit int
+}
+
+// pshard is one worker shard: two bounded priority lanes, the retry
+// re-injection buffer, and — during a reshard transition — the handoff
+// buffer for keys moving onto this shard. ready holds envelopes whose
+// backoff elapsed; they bypass the capacity bound (their slot was
+// accounted for when first enqueued) and are drained ahead of the lanes.
 type pshard struct {
+	// id is the shard's stable identity: rendezvous scores hash it, the
+	// batch processor and the telemetry labels receive it. Routing depends
+	// only on the live id set, never on slice positions.
+	id int
+
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
-	queue    []Envelope
+	lanes    [numLanes]laneQueue
 	ready    []Envelope
 	capacity int
 	paused   bool
 	stopped  bool
+	draining bool
+
+	// Resharding handoff. While a transition is pending, keys that move
+	// to this shard under the next routing table buffer here (counted
+	// against lane capacity via handoffLen) and splice into the live lanes
+	// only when the fence lifts — that barrier is the per-key order
+	// guarantee across the move. handoffEpoch pins the buffer to one
+	// transition: an envelope delayed across a completed fence must never
+	// park itself in a later transition's buffer, where its own (old)
+	// epoch count would deadlock that later fence.
+	handoff      []Envelope
+	handoffLen   [numLanes]int
+	handoffOpen  bool
+	handoffEpoch uint64
+
+	shed [numLanes]atomic.Uint64
 
 	// Pre-registered telemetry handles for this shard's label set.
 	obsQueueWait *obs.Histogram
 	obsRetry     *obs.Histogram
 	obsDead      *obs.Histogram
+	obsShed      [numLanes]*obs.Counter
 }
 
-func newPshard(capacity, index int) *pshard {
-	label := strconv.Itoa(index)
+func newPshard(capacity, id int, paused bool) *pshard {
+	label := strconv.Itoa(id)
 	s := &pshard{
+		id:           id,
 		capacity:     capacity,
+		paused:       paused,
 		obsQueueWait: mQueueWait.With(label),
 		obsRetry:     mRetryBackoff.With(label),
 		obsDead:      mDeadAge.With(label),
+	}
+	for l := lane(0); l < numLanes; l++ {
+		s.obsShed[l] = mShed.With(label, l.String())
 	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
@@ -186,36 +335,84 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 250 * time.Millisecond
 	}
-	p := &Pipeline{cfg: cfg}
-	p.idleCond = sync.NewCond(&p.idleMu)
-	for i := 0; i < cfg.Shards; i++ {
-		p.shards = append(p.shards, newPshard(cfg.QueueCapacity, i))
+	if cfg.SteadyWeight <= 0 {
+		cfg.SteadyWeight = 2
 	}
-	for i := range p.shards {
+	if cfg.BurstWeight <= 0 {
+		cfg.BurstWeight = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now //scilint:ignore determinism production default only; tests and the platform inject their clock
+	}
+	cfg.Adaptive = cfg.Adaptive.withDefaults(cfg)
+	p := &Pipeline{cfg: cfg, now: cfg.Now}
+	p.idleCond = sync.NewCond(&p.idleMu)
+	p.maxBatch.Store(int64(cfg.MaxBatch))
+	mBatchMax.Set(int64(cfg.MaxBatch))
+	p.sticky.init()
+	if cfg.Admission != nil {
+		p.admission = newAdmission(*cfg.Admission, p.now)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := newPshard(cfg.QueueCapacity, i, false)
+		p.active = append(p.active, s)
 		p.wg.Add(1)
-		go p.worker(i)
+		go p.worker(s)
+	}
+	p.nextShardID = cfg.Shards
+	mShardCount.Set(int64(cfg.Shards))
+	if cfg.Adaptive.Enabled && cfg.Adaptive.Interval > 0 {
+		p.adaptStop = make(chan struct{})
+		p.adaptWG.Add(1)
+		go p.adaptLoop()
 	}
 	return p
 }
 
-func (p *Pipeline) shardFor(key string) *pshard {
-	if len(p.shards) == 1 {
-		return p.shards[0]
+// route picks the envelope's shard under the current routing table and
+// registers it against its epoch's in-flight count — atomically with the
+// table read, under the router read-lock, so a transition beginning right
+// after cannot miss the envelope in its fence. During a transition a key
+// whose next-table winner differs from its current one is directed at the
+// new winner with handoff=true: it must buffer behind the fence rather
+// than enter the live queue ahead of its predecessors.
+func (p *Pipeline) route(key string) (s *pshard, epoch uint64, handoff bool) {
+	p.routerMu.RLock()
+	defer p.routerMu.RUnlock()
+	epoch = p.epoch
+	p.epochInflight[epoch&1].Add(1)
+	cur := rendezvous(key, p.active)
+	if p.next == nil {
+		return cur, epoch, false
 	}
-	return p.shards[int(keyHash(key)%uint32(len(p.shards)))]
+	tgt := rendezvous(key, p.next)
+	if tgt == cur {
+		return cur, epoch, false
+	}
+	return tgt, epoch, true
 }
 
-// Enqueue routes the envelope to its key's shard, blocking while the shard
-// is at capacity (the backpressure-by-blocking mode).
+// unroute undoes route for an envelope that was never accepted (shed,
+// cancelled, stale-routed); dropping the count may lift a pending fence.
+func (p *Pipeline) unroute(epoch uint64) { p.retireEpoch(epoch) }
+
+func (p *Pipeline) retireEpoch(epoch uint64) {
+	if p.epochInflight[epoch&1].Add(-1) == 0 && p.transActive.Load() {
+		p.maybeCompleteTransition(epoch)
+	}
+}
+
+// Enqueue routes the envelope to its key's shard, blocking while the
+// steady lane is at capacity (the backpressure-by-blocking mode).
 func (p *Pipeline) Enqueue(key string, payload []byte) error {
-	return p.enqueue(nil, key, payload, true, nil)
+	return p.enqueue(nil, "", key, payload, true, nil)
 }
 
 // EnqueueCtx behaves like Enqueue but stops waiting when ctx is cancelled,
 // returning the context error — the shape request handlers need so an
 // abandoned client cannot park a goroutine on a full shard forever.
 func (p *Pipeline) EnqueueCtx(ctx context.Context, key string, payload []byte) error {
-	return p.enqueue(ctx, key, payload, true, nil)
+	return p.enqueue(ctx, "", key, payload, true, nil)
 }
 
 // EnqueueNotify behaves like Enqueue and additionally marks wg done when
@@ -223,20 +420,70 @@ func (p *Pipeline) EnqueueCtx(ctx context.Context, key string, payload []byte) e
 // after any retries) — the hook dead-letter replay uses to wait for its
 // own envelopes without flushing the whole pipeline.
 func (p *Pipeline) EnqueueNotify(key string, payload []byte, wg *sync.WaitGroup) error {
-	return p.enqueue(nil, key, payload, true, wg)
+	return p.enqueue(nil, "", key, payload, true, wg)
 }
 
 // TryEnqueue routes the envelope to its key's shard, shedding with ErrFull
-// when the shard is at capacity (the backpressure-by-load-shedding mode).
+// when the lane is at capacity (the backpressure-by-load-shedding mode).
 func (p *Pipeline) TryEnqueue(key string, payload []byte) error {
-	return p.enqueue(nil, key, payload, false, nil)
+	return p.enqueue(nil, "", key, payload, false, nil)
 }
 
-func (p *Pipeline) enqueue(ctx context.Context, key string, payload []byte, block bool, notify *sync.WaitGroup) error {
+// EnqueueSource behaves like Enqueue but first runs the envelope through
+// per-source admission (when configured): the source's token buckets
+// decide the lane, or reject with a ThrottleError carrying a retry hint.
+func (p *Pipeline) EnqueueSource(source, key string, payload []byte) error {
+	return p.enqueue(nil, source, key, payload, true, nil)
+}
+
+// EnqueueSourceCtx is EnqueueSource with context cancellation.
+func (p *Pipeline) EnqueueSourceCtx(ctx context.Context, source, key string, payload []byte) error {
+	return p.enqueue(ctx, source, key, payload, true, nil)
+}
+
+// TryEnqueueSource is EnqueueSource in load-shedding mode: a full lane
+// sheds with ErrFull instead of blocking.
+func (p *Pipeline) TryEnqueueSource(source, key string, payload []byte) error {
+	return p.enqueue(nil, source, key, payload, false, nil)
+}
+
+func (p *Pipeline) enqueue(ctx context.Context, source, key string, payload []byte, block bool, notify *sync.WaitGroup) error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
-	s := p.shardFor(key)
+	want := LaneSteady
+	if p.admission != nil && source != "" {
+		dec := p.admission.admit(source)
+		if dec.throttled {
+			p.throttled.Add(1)
+			return &ThrottleError{RetryAfter: dec.retryAfter}
+		}
+		want = dec.lane
+	}
+	// A key with envelopes still queued keeps their lane: a cascade must
+	// never straddle lanes, or the weighted scheduler could reorder it.
+	l := p.sticky.acquire(key, want)
+	for {
+		s, epoch, handoff := p.route(key)
+		ok, err := p.put(s, ctx, key, payload, l, epoch, handoff, block, notify)
+		if err != nil {
+			p.unroute(epoch)
+			p.sticky.release(key)
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Stale route: the shard left the set between the table read and
+		// the insert. Drop the stale epoch claim and route again.
+		p.unroute(epoch)
+	}
+}
+
+// put inserts the envelope on shard s, blocking (or shedding) while the
+// lane is at capacity. ok=false with a nil error means the shard stopped
+// under us and the caller should re-route.
+func (p *Pipeline) put(s *pshard, ctx context.Context, key string, payload []byte, l lane, epoch uint64, handoff, block bool, notify *sync.WaitGroup) (ok bool, err error) {
 	if ctx != nil && block {
 		// Wake the wait loop below on cancellation. Broadcasting under the
 		// shard lock pairs with the loop's ctx re-check: the waiter either
@@ -249,23 +496,28 @@ func (p *Pipeline) enqueue(ctx context.Context, key string, payload []byte, bloc
 		defer stop()
 	}
 	s.mu.Lock()
-	for len(s.queue) >= s.capacity && !s.stopped {
+	for s.laneLen(l) >= s.capacity && !s.stopped {
 		if !block {
 			s.mu.Unlock()
+			s.shed[l].Add(1)
+			s.obsShed[l].Inc()
 			p.shed.Add(1)
-			return ErrFull
+			return false, ErrFull
 		}
 		if ctx != nil {
-			if err := ctx.Err(); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
 				s.mu.Unlock()
-				return err
+				return false, cerr
 			}
 		}
 		s.notFull.Wait()
 	}
 	if s.stopped {
 		s.mu.Unlock()
-		return ErrClosed
+		if p.closed.Load() {
+			return false, ErrClosed
+		}
+		return false, nil
 	}
 	// Count the envelope in-flight before it becomes visible to a worker,
 	// or a fast worker could retire it first and Flush would see a
@@ -275,15 +527,40 @@ func (p *Pipeline) enqueue(ctx context.Context, key string, payload []byte, bloc
 	if notify != nil {
 		notify.Add(1)
 	}
-	s.queue = append(s.queue, Envelope{Key: key, Payload: payload, notify: notify, enqueuedNs: time.Now().UnixNano()})
+	env := Envelope{Key: key, Payload: payload, lane: l, epoch: epoch,
+		notify: notify, enqueuedNs: p.now().UnixNano()}
+	if handoff && s.handoffOpen && epoch == s.handoffEpoch {
+		s.handoff = append(s.handoff, env)
+		s.handoffLen[l]++
+	} else {
+		// Either no transition is pending for this shard, or the fence
+		// already lifted (the buffer was spliced before the table flip, so
+		// appending here lands behind any moved predecessors).
+		s.lanes[l].queue = append(s.lanes[l].queue, env)
+	}
 	s.mu.Unlock()
 	s.notEmpty.Broadcast()
-	return nil
+	return true, nil
+}
+
+// laneLen is the lane's occupancy including its share of the handoff
+// buffer (whose envelopes hold real queue slots). Callers hold s.mu.
+func (s *pshard) laneLen(l lane) int {
+	return len(s.lanes[l].queue) + s.handoffLen[l]
+}
+
+// queuedLocked is the total lane occupancy. Callers hold s.mu.
+func (s *pshard) queuedLocked() int {
+	total := 0
+	for l := range s.lanes {
+		total += len(s.lanes[l].queue)
+	}
+	return total
 }
 
 // requeueReady re-injects an envelope whose retry backoff elapsed; it is
-// drained ahead of the main queue so a retried event does not fall behind
-// its shard's backlog forever.
+// drained ahead of the lanes so a retried event does not fall behind its
+// shard's backlog forever.
 func (s *pshard) requeueReady(env Envelope) {
 	s.mu.Lock()
 	s.ready = append(s.ready, env)
@@ -291,28 +568,53 @@ func (s *pshard) requeueReady(env Envelope) {
 	s.notEmpty.Broadcast()
 }
 
-// next blocks until the shard has work (or is stopped and empty) and
-// returns up to max envelopes, due retries first.
-func (s *pshard) next(max int) []Envelope {
+// next blocks until the shard has dispatchable work (or is stopped and
+// empty) and returns up to max envelopes: due retries first, then the
+// lanes under deficit-weighted round-robin. Each pass grants every
+// backlogged lane its quantum, so a saturated burst lane cannot starve
+// the steady feed — and an empty lane's deficit resets rather than
+// banking credit it would later dump as a latency spike.
+func (s *pshard) next(max int, quantum [numLanes]int) []Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.stopped && len(s.queue) == 0 && len(s.ready) == 0 {
+		if s.stopped && s.queuedLocked() == 0 && len(s.ready) == 0 {
 			return nil
 		}
-		if !s.paused && (len(s.queue) > 0 || len(s.ready) > 0) {
+		if !s.paused && (s.queuedLocked() > 0 || len(s.ready) > 0) {
 			break
 		}
 		s.notEmpty.Wait()
 	}
-	batch := make([]Envelope, 0, max)
+	if max < 1 {
+		max = 1
+	}
+	batch := make([]Envelope, 0, min(max, s.queuedLocked()+len(s.ready)))
 	n := min(max, len(s.ready))
 	batch = append(batch, s.ready[:n]...)
 	s.ready = append(s.ready[:0], s.ready[n:]...)
-	if rest := max - len(batch); rest > 0 {
-		n = min(rest, len(s.queue))
-		batch = append(batch, s.queue[:n]...)
-		s.queue = append(s.queue[:0], s.queue[n:]...)
+	fromLanes := false
+	for len(batch) < max && s.queuedLocked() > 0 {
+		for l := range s.lanes {
+			q := &s.lanes[l]
+			if len(q.queue) == 0 {
+				q.deficit = 0
+				continue
+			}
+			q.deficit += quantum[l]
+			take := min(q.deficit, len(q.queue), max-len(batch))
+			if take > 0 {
+				batch = append(batch, q.queue[:take]...)
+				q.queue = append(q.queue[:0], q.queue[take:]...)
+				q.deficit -= take
+				fromLanes = true
+			}
+			if len(batch) >= max {
+				break
+			}
+		}
+	}
+	if fromLanes {
 		s.notFull.Broadcast()
 	}
 	return batch
@@ -333,31 +635,67 @@ func (s *pshard) stop() {
 	s.notFull.Broadcast()
 }
 
+func (s *pshard) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// openHandoff arms the handoff buffer for one transition, identified by
+// the epoch envelopes will carry after the routing-table version bump.
+func (s *pshard) openHandoff(epoch uint64) {
+	s.mu.Lock()
+	s.handoffOpen = true
+	s.handoffEpoch = epoch
+	s.mu.Unlock()
+}
+
+// splice closes the handoff buffer and moves its envelopes into the live
+// lanes in arrival order. Runs at fence-lift, before the table flip.
+func (s *pshard) splice() {
+	s.mu.Lock()
+	for _, env := range s.handoff {
+		s.lanes[env.lane].queue = append(s.lanes[env.lane].queue, env)
+	}
+	s.handoff = nil
+	s.handoffLen = [numLanes]int{}
+	s.handoffOpen = false
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+}
+
 func (s *pshard) depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue) + len(s.ready)
+	return s.queuedLocked() + len(s.handoff) + len(s.ready)
 }
 
-func (p *Pipeline) worker(i int) {
+func (p *Pipeline) worker(s *pshard) {
 	defer p.wg.Done()
-	s := p.shards[i]
+	quantum := [numLanes]int{LaneSteady: p.cfg.SteadyWeight, LaneBurst: p.cfg.BurstWeight}
 	for {
-		batch := s.next(p.cfg.MaxBatch)
+		batch := s.next(int(p.maxBatch.Load()), quantum)
 		if batch == nil {
 			return
 		}
 		p.batches.Add(1)
 		mBatchSize.Observe(int64(len(batch)))
-		drained := time.Now().UnixNano()
-		for _, env := range batch {
-			// Retried envelopes (Attempt > 0) arrive via the ready buffer;
-			// their wait is the scheduled backoff, recorded separately.
-			if env.Attempt == 0 && env.enqueuedNs > 0 {
-				s.obsQueueWait.Observe(drained - env.enqueuedNs)
+		drained := p.now().UnixNano()
+		for i := range batch {
+			env := &batch[i]
+			if env.Attempt == 0 {
+				// First dispatch: the envelope leaves its lane, so the key's
+				// sticky lane pin drops with it. Retried envelopes (Attempt >
+				// 0) arrive via the ready buffer; their wait is the scheduled
+				// backoff, recorded separately.
+				p.sticky.release(env.Key)
+				if env.enqueuedNs > 0 {
+					s.obsQueueWait.Observe(drained - env.enqueuedNs)
+				}
 			}
 		}
-		results := p.cfg.Process(i, batch)
+		results := p.cfg.Process(s.id, batch)
 		for j, env := range batch {
 			var res Result
 			if j < len(results) {
@@ -382,6 +720,7 @@ func (p *Pipeline) worker(i int) {
 				p.deadLetter(s, env, res.Err)
 			}
 		}
+		p.noteDrain()
 	}
 }
 
@@ -403,13 +742,13 @@ func (p *Pipeline) backoffFor(attempt int) time.Duration {
 	if d <= 1 {
 		return d
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) //scilint:ignore determinism retry jitter is cadence, not data: no stored row depends on it
 }
 
 func (p *Pipeline) deadLetter(s *pshard, env Envelope, err error) {
 	p.dead.Add(1)
 	if env.enqueuedNs > 0 {
-		s.obsDead.Observe(time.Now().UnixNano() - env.enqueuedNs)
+		s.obsDead.Observe(p.now().UnixNano() - env.enqueuedNs)
 	}
 	if p.cfg.OnDead != nil {
 		p.cfg.OnDead(env, err)
@@ -418,11 +757,15 @@ func (p *Pipeline) deadLetter(s *pshard, env Envelope, err error) {
 }
 
 // retire marks one envelope's final outcome: it releases any
-// EnqueueNotify waiter and wakes Flush when the pipeline idles.
+// EnqueueNotify waiter, settles the envelope's epoch claim (possibly
+// lifting a resharding fence), and wakes Flush when the pipeline idles.
+// Epoch accounting runs before the inflight decrement so a Flush that
+// returns implies every fence has lifted.
 func (p *Pipeline) retire(env Envelope) {
 	if env.notify != nil {
 		env.notify.Done()
 	}
+	p.retireEpoch(env.epoch)
 	if p.inflight.Add(-1) == 0 {
 		p.idleMu.Lock()
 		p.idleCond.Broadcast()
@@ -430,10 +773,153 @@ func (p *Pipeline) retire(env Envelope) {
 	}
 }
 
+// Reshard transitions the pipeline to target worker shards and returns
+// without waiting for the transition to drain. The ordering contract:
+// envelopes admitted under the old routing table keep draining in place
+// (a leaving shard stops winning new keys, finishes its queues, and only
+// then stops); keys whose winner moves buffer on the new winner's handoff
+// queue; and once every old-table envelope reaches a final outcome the
+// fence lifts — the buffers splice into the live lanes and the new table
+// becomes authoritative. Per-key order is therefore preserved across the
+// move. A second Reshard first waits for the pending transition.
+func (p *Pipeline) Reshard(target int) error {
+	if target < 1 {
+		return fmt.Errorf("stream: reshard target %d: %w", target, ErrConfig)
+	}
+	p.reshardMu.Lock()
+	defer p.reshardMu.Unlock()
+	for {
+		if p.closed.Load() {
+			return ErrClosed
+		}
+		p.transMu.Lock()
+		if !p.transPending {
+			break
+		}
+		done := p.transDone
+		p.transMu.Unlock()
+		<-done
+	}
+	// transMu held, no transition pending.
+	p.routerMu.Lock()
+	if len(p.active) == target {
+		p.routerMu.Unlock()
+		p.transMu.Unlock()
+		return nil
+	}
+	next := make([]*pshard, 0, target)
+	var leaving []*pshard
+	if target > len(p.active) {
+		next = append(next, p.active...)
+		for len(next) < target {
+			s := newPshard(p.cfg.QueueCapacity, p.allocShardID(), p.paused.Load())
+			next = append(next, s)
+			p.wg.Add(1)
+			go p.worker(s)
+		}
+	} else {
+		// Shrink retires the highest-id shards: deterministic, and the
+		// freed ids are exactly the ones reused by the next grow.
+		byID := append([]*pshard(nil), p.active...)
+		sort.Slice(byID, func(i, j int) bool { return byID[i].id < byID[j].id })
+		next = append(next, byID[:target]...)
+		leaving = append(leaving, byID[target:]...)
+	}
+	oldEpoch := p.epoch
+	p.transActive.Store(true)
+	p.epoch++
+	newEpoch := p.epoch
+	p.next = next
+	p.leaving = leaving
+	for _, s := range next {
+		s.openHandoff(newEpoch)
+	}
+	for _, s := range leaving {
+		s.setDraining()
+	}
+	p.routerMu.Unlock()
+	p.transPending = true
+	p.transOldEpoch = oldEpoch
+	p.transDone = make(chan struct{})
+	p.transMu.Unlock()
+	// An idle pipeline has nothing to fence on: complete immediately.
+	p.maybeCompleteTransition(oldEpoch)
+	return nil
+}
+
+// allocShardID hands out the smallest free shard id. Callers hold transMu.
+func (p *Pipeline) allocShardID() int {
+	if len(p.freeShardIDs) > 0 {
+		sort.Ints(p.freeShardIDs)
+		id := p.freeShardIDs[0]
+		p.freeShardIDs = p.freeShardIDs[1:]
+		return id
+	}
+	id := p.nextShardID
+	p.nextShardID++
+	return id
+}
+
+// maybeCompleteTransition lifts the resharding fence once nothing
+// admitted under the old routing table is still in flight. The handoff
+// buffers splice BEFORE the table flip: a same-key envelope routed right
+// after the flip must land behind its moved predecessors, never ahead.
+func (p *Pipeline) maybeCompleteTransition(oldEpoch uint64) {
+	p.transMu.Lock()
+	defer p.transMu.Unlock()
+	if !p.transPending || p.transOldEpoch != oldEpoch || p.epochInflight[oldEpoch&1].Load() != 0 {
+		return
+	}
+	p.routerMu.RLock()
+	next, leaving := p.next, p.leaving
+	p.routerMu.RUnlock()
+	for _, s := range next {
+		s.splice()
+	}
+	p.routerMu.Lock()
+	p.active = next
+	p.next = nil
+	p.leaving = nil
+	shardCount := len(p.active)
+	p.routerMu.Unlock()
+	for _, s := range leaving {
+		s.stop()
+		p.freeShardIDs = append(p.freeShardIDs, s.id)
+	}
+	p.reshards.Add(1)
+	mReshards.Inc()
+	mShardCount.Set(int64(shardCount))
+	p.transActive.Store(false)
+	p.transPending = false
+	close(p.transDone)
+}
+
+// Resharding reports whether a shard-set transition is pending.
+func (p *Pipeline) Resharding() bool { return p.transActive.Load() }
+
+// allShards snapshots every live shard: the active set plus, during a
+// transition, the incoming shards not yet in it.
+func (p *Pipeline) allShards() []*pshard {
+	p.routerMu.RLock()
+	defer p.routerMu.RUnlock()
+	out := append([]*pshard(nil), p.active...)
+	seen := make(map[int]bool, len(out))
+	for _, s := range out {
+		seen[s.id] = true
+	}
+	for _, s := range p.next {
+		if !seen[s.id] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Flush blocks until every accepted envelope has reached a final outcome
 // (committed or dead-lettered), including envelopes waiting out a retry
-// backoff. It does not stop the workers and must not be called while the
-// pipeline is paused with work pending.
+// backoff; any pending reshard transition has completed by then too. It
+// does not stop the workers and must not be called while the pipeline is
+// paused with work pending.
 func (p *Pipeline) Flush() {
 	p.idleMu.Lock()
 	defer p.idleMu.Unlock()
@@ -445,48 +931,226 @@ func (p *Pipeline) Flush() {
 // Pause stops the workers from starting new batches (in-flight batches
 // complete). Producers keep enqueueing until the queues fill.
 func (p *Pipeline) Pause() {
-	for _, s := range p.shards {
+	p.paused.Store(true)
+	for _, s := range p.allShards() {
 		s.setPaused(true)
 	}
 }
 
 // Resume undoes Pause.
 func (p *Pipeline) Resume() {
-	for _, s := range p.shards {
+	p.paused.Store(false)
+	for _, s := range p.allShards() {
 		s.setPaused(false)
 	}
 }
 
 // Close drains the pipeline gracefully: new enqueues fail with ErrClosed,
-// every accepted envelope is processed to a final outcome, then the
-// workers exit. Safe to call more than once.
+// the adaptive controller stops, every accepted envelope is processed to
+// a final outcome (completing any reshard transition), then the workers
+// exit. Safe to call more than once.
 func (p *Pipeline) Close() {
 	if p.closed.Swap(true) {
 		p.wg.Wait()
 		return
 	}
+	// Resume before joining the controller: a controller tick blocked in
+	// Reshard needs the workers draining to see its transition complete.
 	p.Resume()
+	if p.adaptStop != nil {
+		close(p.adaptStop)
+		p.adaptWG.Wait()
+	}
 	p.Flush()
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		s.stop()
 	}
 	p.wg.Wait()
 }
 
-// Depth returns the total queued-envelope count across shards (excluding
-// envelopes waiting out a retry backoff).
+// Depth returns the total queued-envelope count across shards, including
+// handoff-buffered envelopes (excluding envelopes waiting out a retry
+// backoff).
 func (p *Pipeline) Depth() int {
 	total := 0
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		total += s.depth()
 	}
 	return total
 }
 
+// Shards returns the current routing shard count (the outgoing set's
+// while a transition is draining).
+func (p *Pipeline) Shards() int {
+	p.routerMu.RLock()
+	defer p.routerMu.RUnlock()
+	return len(p.active)
+}
+
+// MaxShards returns the ceiling on live shard ids: the adaptive
+// controller's growth bound, or the fixed shard count when the controller
+// is off. Per-shard telemetry sized to this bound covers every id the
+// pipeline will ever label — ids of removed shards are reused, never
+// retired upward.
+func (p *Pipeline) MaxShards() int {
+	if p.cfg.Adaptive.Enabled {
+		return max(p.cfg.Shards, p.cfg.Adaptive.MaxShards)
+	}
+	return p.cfg.Shards
+}
+
+// RetryAfter estimates how long a shed producer should wait before
+// retrying: the queued backlog over the recent drain rate, clamped to
+// [1s, 60s]. Before any drain history exists it answers the floor —
+// "try again in a second" is the honest default for an empty estimator.
+func (p *Pipeline) RetryAfter() time.Duration {
+	const floor, ceil = time.Second, 60 * time.Second
+	rate := p.rate.estimate()
+	if rate <= 0 {
+		return floor
+	}
+	d := time.Duration(float64(p.Depth()) / rate * float64(time.Second))
+	if d < floor {
+		return floor
+	}
+	if d > ceil {
+		return ceil
+	}
+	return d
+}
+
+// drainRate is an EWMA of the pipeline's final-outcome throughput,
+// updated by the workers after each batch and read by RetryAfter.
+type drainRate struct {
+	mu       sync.Mutex
+	lastNs   int64
+	lastDone uint64
+	perSec   float64
+}
+
+func (p *Pipeline) noteDrain() {
+	nowNs := p.now().UnixNano()
+	done := p.commits.Load() + p.dead.Load()
+	r := &p.rate
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastNs == 0 {
+		r.lastNs, r.lastDone = nowNs, done
+		return
+	}
+	dt := nowNs - r.lastNs
+	// Batches can complete microseconds apart; sampling that often would
+	// make the estimate all noise. Fold in at most ~10 windows a second.
+	if dt < int64(100*time.Millisecond) {
+		return
+	}
+	inst := float64(done-r.lastDone) / (float64(dt) / float64(time.Second))
+	if r.perSec == 0 {
+		r.perSec = inst
+	} else {
+		r.perSec = 0.7*r.perSec + 0.3*inst
+	}
+	r.lastNs, r.lastDone = nowNs, done
+}
+
+func (r *drainRate) estimate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perSec
+}
+
+// stickyLanes pins a key to one lane while any of its envelopes are
+// queued: admission may classify a cascade's later events differently
+// (the source's steady bucket refilled, say), but letting one key span
+// both lanes would let the weighted scheduler reorder it. Pins are
+// striped 16 ways to keep the enqueue path from serialising on one lock.
+type stickyLanes struct {
+	stripes [16]stickyStripe
+}
+
+type stickyStripe struct {
+	mu sync.Mutex
+	m  map[string]*stickyPin
+}
+
+type stickyPin struct {
+	l lane
+	n int
+}
+
+func (t *stickyLanes) init() {
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[string]*stickyPin)
+	}
+}
+
+func (t *stickyLanes) stripe(key string) *stickyStripe {
+	return &t.stripes[keyHash(key)&uint32(len(t.stripes)-1)]
+}
+
+// acquire pins key to want — or to its existing lane if already pinned —
+// and bumps the pin count.
+func (t *stickyLanes) acquire(key string, want lane) lane {
+	st := t.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pin := st.m[key]; pin != nil {
+		pin.n++
+		return pin.l
+	}
+	st.m[key] = &stickyPin{l: want, n: 1}
+	return want
+}
+
+// release drops one pin; the last release unpins the key.
+func (t *stickyLanes) release(key string) {
+	st := t.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pin := st.m[key]; pin != nil {
+		if pin.n--; pin.n <= 0 {
+			delete(st.m, key)
+		}
+	}
+}
+
+// ShardStats is one shard's queue and shed breakdown.
+type ShardStats struct {
+	// ID is the shard's stable id (the telemetry label).
+	ID int `json:"id"`
+	// Steady and Burst are the lanes' queued-envelope counts (including
+	// handoff-buffered envelopes); Ready counts retries due again.
+	Steady int `json:"steady"`
+	Burst  int `json:"burst"`
+	Ready  int `json:"ready"`
+	// ShedSteady and ShedBurst count enqueue rejections per lane since
+	// the shard started.
+	ShedSteady uint64 `json:"shed_steady"`
+	ShedBurst  uint64 `json:"shed_burst"`
+	// Draining marks a shard leaving the set under a pending transition.
+	Draining bool `json:"draining,omitempty"`
+}
+
+func (s *pshard) stats() ShardStats {
+	s.mu.Lock()
+	st := ShardStats{
+		ID:       s.id,
+		Steady:   s.laneLen(LaneSteady),
+		Burst:    s.laneLen(LaneBurst),
+		Ready:    len(s.ready),
+		Draining: s.draining && !s.stopped,
+	}
+	s.mu.Unlock()
+	st.ShedSteady = s.shed[LaneSteady].Load()
+	st.ShedBurst = s.shed[LaneBurst].Load()
+	return st
+}
+
 // PipelineStats is a snapshot of the pipeline counters.
 type PipelineStats struct {
-	// Enqueued counts accepted envelopes; Shed counts TryEnqueue rejections.
-	Enqueued, Shed uint64
+	// Enqueued counts accepted envelopes; Shed counts enqueue rejections
+	// on full lanes; Throttled counts per-source admission rejections.
+	Enqueued, Shed, Throttled uint64
 	// Committed, Retried and DeadLettered count per-envelope outcomes
 	// (Retried counts re-processing attempts, not envelopes).
 	Committed, Retried, DeadLettered uint64
@@ -494,27 +1158,54 @@ type PipelineStats struct {
 	Batches uint64
 	// Inflight is the number of envelopes not yet at a final outcome.
 	Inflight int64
-	// QueueDepths is the per-shard queued-envelope count.
+	// Shards is the current routing shard count; Reshards counts completed
+	// transitions; Resharding marks one pending.
+	Shards     int
+	Reshards   uint64
+	Resharding bool
+	// MaxBatch is the live micro-batch ceiling (the adaptive controller
+	// moves it; static pipelines report their configured value).
+	MaxBatch int
+	// QueueDepths is the per-shard queued-envelope count in shard-id
+	// order, including shards draining out of the set.
 	QueueDepths []int
+	// PerShard breaks queue depth and shed counts down by shard and lane,
+	// in shard-id order.
+	PerShard []ShardStats
+	// Admission is the per-source admitted/throttled breakdown, sorted by
+	// source; nil when admission is off.
+	Admission []SourceAdmission
 }
 
 // Stats returns a snapshot of the pipeline counters.
-// Shards returns the pipeline's shard/worker count (after defaulting).
-func (p *Pipeline) Shards() int { return len(p.shards) }
-
 func (p *Pipeline) Stats() PipelineStats {
-	depths := make([]int, len(p.shards))
-	for i, s := range p.shards {
-		depths[i] = s.depth()
+	shards := p.allShards()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].id < shards[j].id })
+	depths := make([]int, len(shards))
+	per := make([]ShardStats, len(shards))
+	for i, s := range shards {
+		st := s.stats()
+		per[i] = st
+		depths[i] = st.Steady + st.Burst + st.Ready
 	}
-	return PipelineStats{
+	ps := PipelineStats{
 		Enqueued:     p.enqueued.Load(),
 		Shed:         p.shed.Load(),
+		Throttled:    p.throttled.Load(),
 		Committed:    p.commits.Load(),
 		Retried:      p.retries.Load(),
 		DeadLettered: p.dead.Load(),
 		Batches:      p.batches.Load(),
 		Inflight:     p.inflight.Load(),
+		Shards:       p.Shards(),
+		Reshards:     p.reshards.Load(),
+		Resharding:   p.Resharding(),
+		MaxBatch:     int(p.maxBatch.Load()),
 		QueueDepths:  depths,
+		PerShard:     per,
 	}
+	if p.admission != nil {
+		ps.Admission = p.admission.stats()
+	}
+	return ps
 }

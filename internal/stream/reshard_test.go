@@ -1,0 +1,367 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	at := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return at }
+}
+
+func TestRendezvousMinimalMovement(t *testing.T) {
+	mk := func(ids ...int) []*pshard {
+		out := make([]*pshard, len(ids))
+		for i, id := range ids {
+			out[i] = &pshard{id: id}
+		}
+		return out
+	}
+	small := mk(0, 1, 2, 3)
+	big := mk(0, 1, 2, 3, 4, 5, 6, 7)
+	shuffled := mk(7, 3, 5, 1, 6, 0, 2, 4)
+
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("article-%d", i)
+		s := rendezvous(key, small)
+		b := rendezvous(key, big)
+		// Order independence: the winner is a function of the id set.
+		if sh := rendezvous(key, shuffled); sh.id != b.id {
+			t.Fatalf("key %q: winner depends on member order (%d vs %d)", key, b.id, sh.id)
+		}
+		// Minimal movement: a key only leaves its shard when a NEW shard
+		// outranks it — keys whose winner in the big set is an old id must
+		// keep their old winner exactly.
+		if b.id < len(small) {
+			if b.id != s.id {
+				t.Fatalf("key %q: winner changed among surviving shards (%d -> %d)", key, s.id, b.id)
+			}
+		} else {
+			moved++
+		}
+	}
+	// Expected movement fraction is (8-4)/8 = 1/2; allow a generous band.
+	if moved < 600 || moved > 1400 {
+		t.Fatalf("moved %d/2000 keys on 4->8 growth, expected ~1000", moved)
+	}
+}
+
+// TestPipelineReshardPreservesPerKeyOrder grows 2->5 and shrinks 5->3
+// while concurrent producers stream ordered per-key sequences, and
+// verifies every key's envelopes were processed in enqueue order.
+func TestPipelineReshardPreservesPerKeyOrder(t *testing.T) {
+	proc := newCollectProcessor(nil)
+	p := NewPipeline(PipelineConfig{Shards: 2, MaxBatch: 8, QueueCapacity: 64, Process: proc.process})
+	defer p.Close()
+
+	const producers, keysPer, perKey = 4, 8, 60
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				for k := 0; k < keysPer; k++ {
+					key := fmt.Sprintf("p%d-key%d", g, k)
+					if err := p.Enqueue(key, []byte(strconv.Itoa(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if g == 0 && i == perKey/3 {
+					if err := p.Reshard(5); err != nil {
+						t.Error(err)
+					}
+				}
+				if g == 0 && i == 2*perKey/3 {
+					if err := p.Reshard(3); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Flush()
+
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	if got := len(proc.byKey); got != producers*keysPer {
+		t.Fatalf("saw %d keys, want %d", got, producers*keysPer)
+	}
+	for key, payloads := range proc.byKey {
+		if len(payloads) != perKey {
+			t.Fatalf("key %s: %d envelopes, want %d", key, len(payloads), perKey)
+		}
+		for i, pay := range payloads {
+			if pay != strconv.Itoa(i) {
+				t.Fatalf("key %s: out of order at %d: got %s", key, i, pay)
+			}
+		}
+	}
+
+	st := p.Stats()
+	if st.Reshards != 2 {
+		t.Fatalf("Reshards = %d, want 2", st.Reshards)
+	}
+	if st.Shards != 3 {
+		t.Fatalf("Shards = %d, want 3", st.Shards)
+	}
+	if st.DeadLettered != 0 {
+		t.Fatalf("dead-lettered %d envelopes", st.DeadLettered)
+	}
+}
+
+func TestPipelineReshardValidation(t *testing.T) {
+	p := NewPipeline(PipelineConfig{Shards: 2, Process: func(int, []Envelope) []Result { return nil }})
+	defer p.Close()
+	if err := p.Reshard(0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Reshard(0) = %v, want ErrConfig", err)
+	}
+	if err := p.Reshard(2); err != nil {
+		t.Fatalf("no-op Reshard = %v", err)
+	}
+	if got := p.Stats().Reshards; got != 0 {
+		t.Fatalf("no-op reshard counted: %d", got)
+	}
+}
+
+// TestPipelineLaneStarvation saturates the burst lane and checks the
+// steady lane still makes proportional progress under the 2:1
+// deficit-weighted dequeue.
+func TestPipelineLaneStarvation(t *testing.T) {
+	proc := newCollectProcessor(nil)
+	var order []string
+	var orderMu sync.Mutex
+	p := NewPipeline(PipelineConfig{
+		Shards:        1,
+		QueueCapacity: 2048,
+		MaxBatch:      8,
+		Now:           fixedClock(),
+		// A near-zero steady budget pushes the hot source's whole feed
+		// into the burst lane; the huge burst depth keeps it admitted.
+		Admission: &AdmissionConfig{SteadyRate: 1e-9, SteadyDepth: 1e-9, BurstRate: 1e-9, BurstDepth: 5000},
+		Process: func(shard int, batch []Envelope) []Result {
+			orderMu.Lock()
+			for _, env := range batch {
+				order = append(order, env.Key)
+			}
+			orderMu.Unlock()
+			return proc.process(shard, batch)
+		},
+	})
+	defer p.Close()
+
+	p.Pause()
+	const burstN, steadyN = 900, 100
+	for i := 0; i < burstN; i++ {
+		if err := p.EnqueueSource("hot.example.com", fmt.Sprintf("burst-%d", i), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < steadyN; i++ {
+		// Plain enqueues ride the steady lane unadmitted.
+		if err := p.Enqueue(fmt.Sprintf("steady-%d", i), []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if len(st.PerShard) != 1 || st.PerShard[0].Burst != burstN || st.PerShard[0].Steady != steadyN {
+		t.Fatalf("lane split wrong: %+v", st.PerShard)
+	}
+	p.Resume()
+	p.Flush()
+
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	if len(order) != burstN+steadyN {
+		t.Fatalf("processed %d envelopes, want %d", len(order), burstN+steadyN)
+	}
+	lastSteady := -1
+	for i, key := range order {
+		if key[0] == 's' {
+			lastSteady = i
+		}
+	}
+	// At 2:1 weights the steady lane's 100 envelopes interleave with
+	// ~50 burst envelopes: the last one should land around position 150.
+	// Anything past 400 means the burst lane starved it.
+	if lastSteady < 0 || lastSteady > 400 {
+		t.Fatalf("last steady envelope at position %d of %d; steady lane starved", lastSteady, len(order))
+	}
+}
+
+func TestAdmissionBuckets(t *testing.T) {
+	at := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return at }
+	a := newAdmission(AdmissionConfig{SteadyRate: 1, SteadyDepth: 2, BurstRate: 1, BurstDepth: 2}, now)
+
+	for i := 0; i < 2; i++ {
+		if d := a.admit("src"); d.throttled || d.lane != LaneSteady {
+			t.Fatalf("admit %d: %+v, want steady", i, d)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if d := a.admit("src"); d.throttled || d.lane != LaneBurst {
+			t.Fatalf("overflow admit %d: %+v, want burst", i, d)
+		}
+	}
+	d := a.admit("src")
+	if !d.throttled {
+		t.Fatalf("expected throttle, got %+v", d)
+	}
+	if d.retryAfter <= 0 || d.retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", d.retryAfter)
+	}
+	// Another source is untouched by the hot one's exhaustion.
+	if d := a.admit("other"); d.throttled || d.lane != LaneSteady {
+		t.Fatalf("independent source: %+v, want steady", d)
+	}
+	// A second's refill re-admits one steady token.
+	at = at.Add(time.Second)
+	if d := a.admit("src"); d.throttled || d.lane != LaneSteady {
+		t.Fatalf("after refill: %+v, want steady", d)
+	}
+
+	stats := a.stats()
+	if len(stats) != 2 || stats[0].Source != "other" || stats[1].Source != "src" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if s := stats[1]; s.Steady != 3 || s.Burst != 2 || s.Throttled != 1 {
+		t.Fatalf("src counters = %+v", s)
+	}
+}
+
+func TestPipelineThrottledEnqueue(t *testing.T) {
+	p := NewPipeline(PipelineConfig{
+		Shards:    1,
+		Now:       fixedClock(),
+		Admission: &AdmissionConfig{SteadyRate: 1, SteadyDepth: 1, BurstRate: 1, BurstDepth: 1},
+		Process:   func(int, []Envelope) []Result { return nil },
+	})
+	defer p.Close()
+
+	if err := p.EnqueueSource("src", "k1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnqueueSource("src", "k2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	err := p.EnqueueSource("src", "k3", []byte("x"))
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("third enqueue = %v, want ErrThrottled", err)
+	}
+	var te *ThrottleError
+	if !errors.As(err, &te) || te.RetryAfter <= 0 {
+		t.Fatalf("throttle error carries no retry hint: %v", err)
+	}
+	p.Flush()
+	st := p.Stats()
+	if st.Throttled != 1 || st.Enqueued != 2 {
+		t.Fatalf("throttled=%d enqueued=%d, want 1/2", st.Throttled, st.Enqueued)
+	}
+}
+
+// TestAdaptTickDeterministic drives the controller by hand: sustained
+// pressure widens the batch ceiling and doubles the shard set; sustained
+// slack shrinks both back.
+func TestAdaptTickDeterministic(t *testing.T) {
+	proc := newCollectProcessor(nil)
+	p := NewPipeline(PipelineConfig{
+		Shards:        2,
+		QueueCapacity: 10,
+		MaxBatch:      4,
+		Now:           fixedClock(),
+		Adaptive: AdaptiveConfig{
+			Enabled:   true,
+			MinShards: 2, MaxShards: 8,
+			MinBatch: 4, MaxBatch: 32,
+			Interval:  -1, // no ticker: the test is the clock
+			HighWater: 0.5, LowWater: 0.05,
+			GrowAfter: 2, ShrinkAfter: 3,
+		},
+		Process: proc.process,
+	})
+	defer p.Close()
+
+	p.Pause()
+	for i := 0; i < 16; i++ { // fill = 16/20 = 0.8 over the high water
+		if err := p.Enqueue(fmt.Sprintf("k%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.AdaptTick()
+	if got := p.Stats().MaxBatch; got != 8 {
+		t.Fatalf("after 1 high tick MaxBatch = %d, want 8", got)
+	}
+	if p.Resharding() {
+		t.Fatal("resharded after a single high tick")
+	}
+	p.AdaptTick()
+	if !p.Resharding() {
+		t.Fatal("no reshard after GrowAfter high ticks")
+	}
+	if got := p.Stats().MaxBatch; got != 16 {
+		t.Fatalf("after 2 high ticks MaxBatch = %d, want 16", got)
+	}
+	// A tick during the pending transition must not stack another.
+	p.AdaptTick()
+
+	p.Resume()
+	p.Flush()
+	if got := p.Shards(); got != 4 {
+		t.Fatalf("post-transition Shards = %d, want 4", got)
+	}
+
+	// Empty queues: batch halves per tick to the floor, shards halve
+	// after ShrinkAfter consecutive low ticks.
+	for i := 0; i < 3; i++ {
+		p.AdaptTick()
+	}
+	p.Flush() // idle-pipeline shrink completes immediately
+	if got := p.Shards(); got != 2 {
+		t.Fatalf("post-shrink Shards = %d, want 2", got)
+	}
+	if got := p.Stats().MaxBatch; got != 4 {
+		t.Fatalf("post-shrink MaxBatch = %d, want 4 (floor)", got)
+	}
+	st := p.Stats()
+	if st.Reshards != 2 {
+		t.Fatalf("Reshards = %d, want 2", st.Reshards)
+	}
+}
+
+// TestPipelinePerShardShed pins the per-shard, per-lane shed accounting.
+func TestPipelinePerShardShed(t *testing.T) {
+	p := NewPipeline(PipelineConfig{
+		Shards:        1,
+		QueueCapacity: 2,
+		Now:           fixedClock(),
+		Process:       func(int, []Envelope) []Result { return nil },
+	})
+	defer p.Close()
+
+	p.Pause()
+	for i := 0; i < 2; i++ {
+		if err := p.TryEnqueue(fmt.Sprintf("k%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.TryEnqueue("k2", []byte("x")); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow = %v, want ErrFull", err)
+	}
+	st := p.Stats()
+	if st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].ShedSteady != 1 || st.PerShard[0].ShedBurst != 0 {
+		t.Fatalf("per-shard shed = %+v", st.PerShard)
+	}
+	p.Resume()
+}

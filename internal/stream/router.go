@@ -1,0 +1,56 @@
+package stream
+
+// Rendezvous (highest-random-weight) routing for the pipeline's dynamic
+// shard set. Every key scores every shard by mixing the key's hash with
+// the shard's stable id; the highest score owns the key. The choice
+// depends only on the id set — not on slice order — so growing the set
+// from n to m shards moves only the keys whose new winner outranks their
+// old one (an expected (m-n)/m fraction), and shrinking moves only the
+// removed shards' keys. That minimal-movement property is what makes
+// live resharding cheap: everything else keeps draining in place.
+
+// keyHash64 is FNV-1a over the key, the 64-bit sibling of keyHash.
+func keyHash64(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// hrwScore mixes a key hash with a shard id through a splitmix64
+// finalizer: well-distributed per (key, id) pair, deterministic across
+// processes and runs.
+func hrwScore(keyH uint64, id int) uint64 {
+	x := keyH ^ (uint64(id)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// rendezvous returns the member with the highest score for key. Ties
+// (astronomically unlikely) break toward the lower id so the choice
+// stays a pure function of the id set.
+func rendezvous(key string, members []*pshard) *pshard {
+	if len(members) == 1 {
+		return members[0]
+	}
+	h := keyHash64(key)
+	best := members[0]
+	bestScore := hrwScore(h, best.id)
+	for _, s := range members[1:] {
+		sc := hrwScore(h, s.id)
+		if sc > bestScore || (sc == bestScore && s.id < best.id) {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}

@@ -221,7 +221,7 @@ type Broker struct {
 }
 
 // NewBroker creates a broker using the real clock.
-func NewBroker() *Broker { return NewBrokerWithClock(time.Now) }
+func NewBroker() *Broker { return NewBrokerWithClock(time.Now) } //scilint:ignore determinism production default only; NewBrokerWithClock is the injection point
 
 // NewBrokerWithClock creates a broker with an injectable clock (virtual
 // time in experiments).
@@ -409,13 +409,15 @@ func (c *Consumer) Poll(max int) ([]Message, error) {
 // PollWait behaves like Poll but blocks up to timeout for at least one
 // message. A zero or negative timeout polls exactly once.
 func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Message, error) {
-	deadline := time.Now().Add(timeout)
+	// The wait deadline is cadence, not data: it bounds how long the
+	// caller parks, and no message content or stored row depends on it.
+	deadline := time.Now().Add(timeout) //scilint:ignore determinism poll-wait deadline is cadence, not data
 	for {
 		msgs, err := c.Poll(max)
 		if err != nil || len(msgs) > 0 {
 			return msgs, err
 		}
-		if timeout <= 0 || time.Now().After(deadline) {
+		if timeout <= 0 || time.Now().After(deadline) { //scilint:ignore determinism poll-wait deadline is cadence, not data
 			return nil, nil
 		}
 		time.Sleep(200 * time.Microsecond)

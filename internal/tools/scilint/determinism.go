@@ -11,9 +11,14 @@ import (
 // row, and batch re-evaluation must equal realtime evaluation down to
 // the last float ulp (PR 2's map-order float-summation bug broke exactly
 // that). Inside the deterministic zones — internal/rdbms, internal/mlcore,
-// internal/classify — wall clocks and the global math/rand state are
-// banned (inject a clock or a seeded *rand.Rand instead), and float
-// accumulators must not fold values in map iteration order.
+// internal/classify, internal/stream — wall clocks and the global
+// math/rand state are banned (inject a clock or a seeded *rand.Rand
+// instead), and float accumulators must not fold values in map iteration
+// order. The stream zone exists for the adaptive-ingestion controller:
+// its decisions must replay identically under a test clock, so every
+// wall-clock read goes through the pipeline's injected Now (the few
+// legitimate cadence-only sites carry explicit scilint:ignore
+// annotations).
 type determinism struct{}
 
 func (determinism) Name() string { return "determinism" }
@@ -41,7 +46,8 @@ var randDeny = map[string]bool{
 }
 
 func (d determinism) Run(p *Pass) {
-	if !pathHasSegment(p.Path, "rdbms") && !pathHasSegment(p.Path, "mlcore") && !pathHasSegment(p.Path, "classify") {
+	if !pathHasSegment(p.Path, "rdbms") && !pathHasSegment(p.Path, "mlcore") &&
+		!pathHasSegment(p.Path, "classify") && !pathHasSegment(p.Path, "stream") {
 		return
 	}
 	for _, f := range p.Files {

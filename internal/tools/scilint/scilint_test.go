@@ -145,6 +145,15 @@ func TestDeterminismGolden(t *testing.T) {
 	checkFixture(t, fixtures+"/determinism/mlcore")
 }
 
+// TestDeterminismStreamZone pins the stream zone added for the adaptive
+// ingestion controller: wall clocks and global rand are banned there
+// too, the injected-clock and seeded-jitter patterns pass, and the
+// scilint:ignore idiom used for the production-default clock suppresses
+// its finding.
+func TestDeterminismStreamZone(t *testing.T) {
+	checkFixture(t, fixtures+"/determinism/stream")
+}
+
 func TestHTTPBodyGolden(t *testing.T) {
 	checkFixture(t, fixtures+"/httpbody/api")
 }

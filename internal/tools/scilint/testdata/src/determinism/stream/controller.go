@@ -1,0 +1,66 @@
+// Package stream is the determinism golden fixture for the ingestion
+// zone: its "stream" path segment puts it in a deterministic zone, so
+// the adaptive controller's decisions must come from an injected clock.
+// Cadence-only sites (tickers, jittered retry backoff) are either legal
+// by construction or carry explicit scilint:ignore annotations — both
+// shapes are pinned here.
+package stream
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Controller mirrors the adaptive pipeline's shape: an injected clock
+// plus a seeded source for retry jitter.
+type Controller struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+// tickWall reads the wall clock to timestamp a control decision: the
+// decision would replay differently under a test clock.
+func (c *Controller) tickWall() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now in a deterministic zone"
+}
+
+// tickInjected goes through the injected clock: the sanctioned pattern.
+func (c *Controller) tickInjected() int64 {
+	return c.now().UnixNano()
+}
+
+// backlogAge compounds the bug with Since.
+func backlogAge(enqueued time.Time) time.Duration {
+	return time.Since(enqueued) // want determinism "time.Since in a deterministic zone"
+}
+
+// globalJitter draws retry backoff from the process-global source.
+func globalJitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) // want determinism "global rand.Int63n in a deterministic zone"
+}
+
+// seededJitter uses the controller's injected-seed source: legal.
+func (c *Controller) seededJitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// annotatedDefault pins the suppression idiom the real pipeline uses for
+// its production-default clock: the ignore must silence the finding.
+func annotatedDefault() func() time.Time {
+	return time.Now //scilint:ignore determinism production default only; callers inject a clock in tests
+}
+
+// cadence proves tickers stay legal: a ticker paces work, it is not
+// data, and no stored row depends on its firing times.
+func cadence(interval time.Duration, stop chan struct{}, fn func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
