@@ -16,7 +16,7 @@
 //	               [-data-dir DIR] [-partitions N]
 //	               [-fsync checkpoint|interval[:dur]|always] [-delta-limit N]
 //	               [-checkpoint-interval DUR] [-checkpoint-wal-bytes N]
-//	               [-debug-addr ADDR]
+//	               [-debug-addr ADDR] [-replica-of URL] [-repl-addr ADDR]
 //
 // Endpoints:
 //
@@ -71,6 +71,8 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "self-driving checkpoint cadence for durable stores (0 = no timer)")
 		ckptBytes  = flag.Int64("checkpoint-wal-bytes", 8<<20, "checkpoint once the WAL grows this many bytes (0 = no byte trigger)")
 		debugAddr  = flag.String("debug-addr", "", "debug listen address serving /metrics and pprof (empty = disabled)")
+		replicaOf  = flag.String("replica-of", "", "primary base URL to replicate from; this process becomes a read-only follower (requires -data-dir)")
+		replAddr   = flag.String("repl-addr", "", "separate listen address serving only the replication endpoints, keeping follower traffic off -addr (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -90,10 +92,14 @@ func main() {
 			CheckpointDeltaLimit: *deltaLimit,
 			CheckpointInterval:   *ckptEvery,
 			CheckpointWALBytes:   *ckptBytes,
+			ReplicaOf:            *replicaOf,
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if platform.IsFollower() {
+		log.Printf("follower mode: replicating from %s (writes answer 503)", platform.PrimaryURL())
 	}
 	stats := platform.Stats()
 	st := platform.StorageStats()
@@ -125,6 +131,19 @@ func main() {
 			log.Printf("debug surface (metrics, pprof) listening on %s", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+	if *replAddr != "" {
+		rep := &http.Server{
+			Addr:              *replAddr,
+			Handler:           scilens.NewReplHandler(platform),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("replication endpoint listening on %s", *replAddr)
+			if err := rep.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("replication listener: %v", err)
 			}
 		}()
 	}

@@ -553,6 +553,14 @@ func (s *ReviewService) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("reviewer field required"))
 		return
 	}
+	// Reviews live outside the replicated store, but a follower accepting
+	// them would silently diverge from the primary's review set — reject
+	// like every other write surface.
+	if s.platform.IsFollower() {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("%w: %s", core.ErrFollower, s.platform.PrimaryURL()))
+		return
+	}
 	review := reviews.Review{
 		ArticleID: req.ArticleID,
 		Reviewer:  req.Reviewer,
@@ -674,7 +682,7 @@ func (s *AdminService) handleReindex(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.platform.ReindexCorpus(pool, opts...)
 	if err != nil {
-		if errors.Is(err, core.ErrDegraded) {
+		if errors.Is(err, core.ErrDegraded) || errors.Is(err, core.ErrFollower) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -772,6 +780,7 @@ func NewServer(p *core.Platform) *Server {
 	s.mux.Handle("/api/ingest/", ingest)
 	s.mux.Handle("/api/stream", ingest)
 	s.mux.Handle("/api/stats", ingest)
+	s.mux.Handle("/api/repl/", NewReplService(p))
 	registerTelemetryRoutes(s.mux)
 	s.handler = observe(s.mux)
 	return s

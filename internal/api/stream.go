@@ -131,9 +131,11 @@ func (s *IngestService) handleIngest(w http.ResponseWriter, r *http.Request) {
 				Throttled: true,
 			})
 			return
-		case errors.Is(err, stream.ErrClosed), errors.Is(err, core.ErrDegraded):
-			// Closed pipeline or degraded read-only storage: the writer
-			// role is unavailable, not the request malformed.
+		case errors.Is(err, stream.ErrClosed), errors.Is(err, core.ErrDegraded),
+			errors.Is(err, core.ErrFollower):
+			// Closed pipeline, degraded read-only storage or a follower
+			// replica (whose error names the primary to write to): the
+			// writer role is unavailable, not the request malformed.
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		default:
@@ -158,7 +160,7 @@ func (s *IngestService) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.platform.ReplayDeadLetters(req.Wait)
 	if err != nil {
-		if errors.Is(err, core.ErrDegraded) {
+		if errors.Is(err, core.ErrDegraded) || errors.Is(err, core.ErrFollower) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/outlets"
 	"repro/internal/rdbms"
 	"repro/internal/rdbms/vfs"
+	"repro/internal/repl"
 	"repro/internal/reviews"
 	"repro/internal/stream"
 	"repro/internal/synth"
@@ -130,6 +132,13 @@ type Platform struct {
 	schedInterval      time.Duration
 	schedWALBytes      int64
 	schedLoadLimit     int
+
+	// Follower mode (see replica.go): replica replays the primary's WAL
+	// into p.DB; followerErr is the pre-built ErrFollower wrap carrying
+	// the primary's URL.
+	replica     *repl.Client
+	primaryURL  string
+	followerErr error
 }
 
 // IngestStats counts ingestion outcomes.
@@ -247,6 +256,17 @@ type Config struct {
 	// vfs.NewFault to break I/O deterministically; ignored in-memory.
 	StorageFS vfs.FS
 
+	// ReplicaOf runs the platform as a read-only follower replicating
+	// from the primary at this base URL (e.g. "http://primary:8080"):
+	// NewPlatform bootstraps the store from the primary's snapshot chain
+	// and then replays its WAL continuously, the read surface serves
+	// locally, and every write entry point returns ErrFollower. Requires
+	// DataDir (the replica and its cursor persist there).
+	ReplicaOf string
+	// ReplHTTPClient overrides the follower's HTTP client for reaching
+	// the primary (tests inject httptest transports and link faults).
+	ReplHTTPClient *http.Client
+
 	// DeadLetterMaxCount bounds the dead_letters table; when an insert
 	// pushes the backlog above the bound, the oldest rows are evicted
 	// (default 4096; negative disables the size bound).
@@ -326,6 +346,14 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if err := p.Broker.CreateTopic(PostingsTopic, stream.TopicConfig{
 		Partitions: cfg.Partitions, Capacity: cfg.QueueCapacity,
 	}); err != nil {
+		return nil, err
+	}
+	// Follower initial sync runs before createSchemas: the primary's
+	// generation chain creates the tables with the primary's partition
+	// layout, and ensureTable then finds them instead of creating
+	// locally-shaped ones.
+	if err := p.setupReplica(cfg); err != nil {
+		_ = db.Close()
 		return nil, err
 	}
 	if err := p.createSchemas(); err != nil {
@@ -420,6 +448,13 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	p.health.since = cfg.Clock()
 	if cfg.DataDir != "" {
 		p.startStorageSupervisor(cfg)
+	}
+	if p.replica != nil {
+		// Continuous replay: feed events republish on this platform's Bus
+		// (the follower serves its own SSE feed), and apply-side storage
+		// faults latch degraded mode exactly like local write faults —
+		// the supervisor's heal-by-checkpoint then unblocks replication.
+		p.replica.Start(p.Bus, p.noteStorageFault)
 	}
 	return p, nil
 }
@@ -621,6 +656,9 @@ func (p *Platform) IngestWorld(w *synth.World, members int) (int, error) {
 func (p *Platform) IngestEvent(ev *synth.Event) error {
 	if p.degraded.Load() {
 		return ErrDegraded
+	}
+	if err := p.followerGate(); err != nil {
+		return err
 	}
 	var err error
 	if ev.Type == synth.EventTypePosting {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/rdbms"
+	"repro/internal/repl"
 )
 
 // ErrDegraded is returned by write entry points (ingest, replay, reindex,
@@ -124,14 +125,21 @@ type StorageHealth struct {
 	Recoveries       uint64 `json:"recoveries"`
 	// Scheduler is the built-in checkpoint scheduler's snapshot.
 	Scheduler StorageSchedulerStats `json:"scheduler"`
+	// Replication is the follower's link snapshot — cursor position,
+	// lag behind the primary, reconnect history. Omitted on primaries.
+	Replication *repl.Status `json:"replication,omitempty"`
 }
 
 // StorageHealth snapshots the storage state machine.
 func (p *Platform) StorageHealth() StorageHealth {
+	// ReplicationStatus takes the replication client's own lock; grab it
+	// outside healthMu to keep the lock graph flat.
+	replStatus := p.ReplicationStatus()
 	p.healthMu.Lock()
 	defer p.healthMu.Unlock()
 	h := &p.health
 	return StorageHealth{
+		Replication:      replStatus,
 		State:            h.state,
 		Since:            h.since,
 		LastFault:        h.lastFault,

@@ -101,6 +101,9 @@ func (p *Platform) ReindexCorpus(pool *compute.Pool, opts ...ReindexOption) (*Re
 	if p.degraded.Load() {
 		return nil, ErrDegraded
 	}
+	if err := p.followerGate(); err != nil {
+		return nil, err
+	}
 	if pool == nil {
 		pool = p.Compute
 	}

@@ -275,6 +275,9 @@ func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
 	if p.degraded.Load() {
 		return ErrDegraded
 	}
+	if err := p.followerGate(); err != nil {
+		return err
+	}
 	payload, err := ev.Encode()
 	if err != nil {
 		return err
@@ -291,6 +294,9 @@ func (p *Platform) StreamEvent(ev *synth.Event, block bool) error {
 func (p *Platform) StreamEventCtx(ctx context.Context, ev *synth.Event) error {
 	if p.degraded.Load() {
 		return ErrDegraded
+	}
+	if err := p.followerGate(); err != nil {
+		return err
 	}
 	payload, err := ev.Encode()
 	if err != nil {
@@ -436,6 +442,9 @@ func (p *Platform) ReplayDeadLetters(wait bool) (int, error) {
 	if p.degraded.Load() {
 		return 0, ErrDegraded
 	}
+	if err := p.followerGate(); err != nil {
+		return 0, err
+	}
 	letters := p.DeadLetters()
 	replayed := 0
 	var done sync.WaitGroup
@@ -565,6 +574,11 @@ func (p *Platform) StorageStats() rdbms.StorageStats {
 // (so it cannot race the final checkpoint), then write that checkpoint
 // and release the store. Safe to call more than once.
 func (p *Platform) Close() error {
+	// A follower stops replaying first: nothing may write into the store
+	// while the final checkpoint runs and the DB closes.
+	if p.replica != nil {
+		p.replica.Close()
+	}
 	p.stopStorageSupervisor()
 	p.Pipeline.Close()
 	p.Bus.Close()

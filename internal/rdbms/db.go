@@ -74,6 +74,12 @@ type DB struct {
 	// the drop is folded into a base.
 	dropEpoch        int
 	handledDropEpoch int
+
+	// Replication holds (guarded by replMu): per-follower pins that stop
+	// the checkpoint prune from deleting WAL segments or snapshot
+	// generations a registered replication cursor still needs (repl.go).
+	replMu   sync.Mutex
+	replHold map[string]*replHold
 }
 
 // NewDB creates an empty in-memory database without a WAL.

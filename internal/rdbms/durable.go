@@ -606,9 +606,16 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 	// and any legacy snapshot. Best-effort by contract: a file that will
 	// not delete is surfaced in the stats, never a checkpoint failure.
 	pruneFailures := 0
+	// A registered replication cursor holds segments from its position up:
+	// pruning past a connected follower would force a full resync, so the
+	// prune floor is min(rotation seq, lowest held seq).
+	pruneBelow := newSeq
+	if held := db.minHeldWALSeq(); held > 0 && held < pruneBelow {
+		pruneBelow = held
+	}
 	if segs, err := walSegments(db.fs, db.dir); err == nil {
 		for _, seg := range segs {
-			if segSeq(seg) < newSeq {
+			if segSeq(seg) < pruneBelow {
 				if removeFile(db.fs, seg) == nil {
 					st.SegmentsPruned++
 				} else {
@@ -618,9 +625,16 @@ func (db *DB) Checkpoint() (CheckpointStats, error) {
 		}
 	}
 	if full && st.Generation != 0 {
+		heldGens := db.heldGenerations()
 		if matches, err := db.fs.Glob(filepath.Join(db.dir, "snap-*")); err == nil {
 			for _, m := range matches {
 				if m == filepath.Join(db.dir, genDirName(gen)) {
+					continue
+				}
+				// Generations mid-ship to a syncing follower survive the
+				// compaction; the next compaction after the follower moves
+				// on to WAL streaming retires them.
+				if heldGens[genDirSeq(m)] {
 					continue
 				}
 				if removeTree(db.fs, m) != nil {

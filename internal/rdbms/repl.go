@@ -1,0 +1,305 @@
+package rdbms
+
+// Replication support: exported readers over the durable artifacts (the
+// manifest chain, snapshot generations, WAL segments) that a primary uses
+// to stream state to followers, the apply-side entry points a follower
+// replays through, and a registry of replication holds that stops the
+// checkpoint prune from deleting segments or generations a registered
+// follower cursor still needs.
+//
+// The wire format is exactly the on-disk format: a generation is shipped
+// as its tables.dat byte stream, and the WAL is shipped as the raw record
+// encodings straight out of the segment files, so the follower replays
+// with the same decoder recovery uses and replication can never drift
+// from crash recovery.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path/filepath"
+)
+
+// ErrReplDiverged reports a follower cursor that does not match the
+// primary's WAL: the offset lies beyond the segment, or the bytes before
+// it hash differently (the primary lost an unsynced tail to a crash and
+// regrew the segment with different records). The follower must discard
+// its state and run a full resync.
+var ErrReplDiverged = errors.New("rdbms: replication cursor diverged from the primary WAL")
+
+// ReplManifest describes the primary's durable state to a syncing
+// follower: the snapshot-generation chain to bootstrap from, the first
+// WAL segment the chain does not supersede, and the segment currently
+// receiving appends.
+type ReplManifest struct {
+	Base     int   `json:"base"`      // base generation (0 = empty chain)
+	Deltas   []int `json:"deltas"`    // delta generations, chain order
+	WALFloor int   `json:"wal_floor"` // first segment to replay after the chain
+	Segment  int   `json:"segment"`   // segment currently receiving appends
+}
+
+// Chain returns the generation numbers to apply, in order (empty when the
+// store has never checkpointed).
+func (m ReplManifest) Chain() []int {
+	if m.Base == 0 {
+		return nil
+	}
+	chain := make([]int, 0, 1+len(m.Deltas))
+	chain = append(chain, m.Base)
+	chain = append(chain, m.Deltas...)
+	return chain
+}
+
+// StartSegment returns the WAL segment a fresh follower replays from
+// after applying the chain.
+func (m ReplManifest) StartSegment() int {
+	if m.WALFloor > 0 {
+		return m.WALFloor
+	}
+	return 1
+}
+
+// ReplManifest reads the durable manifest. When id is non-empty it also —
+// atomically with respect to checkpoints — registers holds for id on the
+// chain's generations and on every WAL segment from the floor up, so the
+// prune of a checkpoint racing the follower's sync cannot delete what the
+// manifest just promised. The holds are narrowed by HoldWAL as the
+// follower advances and dropped by ReleaseReplHold.
+func (db *DB) ReplManifest(id string) (ReplManifest, error) {
+	if db.dir == "" {
+		return ReplManifest{}, ErrNoDir
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	base, deltas, floor, err := readManifest(db.fs, db.dir)
+	if err != nil {
+		return ReplManifest{}, err
+	}
+	m := ReplManifest{Base: base, Deltas: deltas, WALFloor: floor, Segment: db.currentSeq()}
+	if id != "" {
+		db.replMu.Lock()
+		db.replHolds(id).wal = m.StartSegment()
+		db.replHolds(id).gens = m.Chain()
+		db.replMu.Unlock()
+	}
+	return m, nil
+}
+
+// OpenGeneration opens generation gen's serialised table stream
+// (snap-NNNNNN/tables.dat) for reading. The caller must Close it.
+func (db *DB) OpenGeneration(gen int) (io.ReadCloser, error) {
+	if db.dir == "" {
+		return nil, ErrNoDir
+	}
+	f, err := db.fs.OpenRead(filepath.Join(db.dir, genDirName(gen), genDataFile))
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CurrentWALSegment returns the sequence number of the segment currently
+// receiving appends.
+func (db *DB) CurrentWALSegment() int { return db.currentSeq() }
+
+// WALSegmentSize returns the on-disk size of segment seq.
+// A pruned or never-written segment reports fs.ErrNotExist.
+func (db *DB) WALSegmentSize(seq int) (int64, error) {
+	if db.dir == "" {
+		return 0, ErrNoDir
+	}
+	info, err := db.fs.Stat(filepath.Join(db.dir, segName(seq)))
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// StreamWALRecords reads complete records from segment seq starting at
+// byte offset off and hands each record's raw encoding to emit. It stops
+// cleanly at the last complete record boundary — a torn tail (a record
+// still being appended, or abandoned by a crashed writer) is never
+// emitted, so a follower can only ever receive whole records. Returns the
+// next offset to resume from. An emit error aborts the scan and is
+// returned with the offset of the last record emit accepted.
+func (db *DB) StreamWALRecords(seq int, off int64, emit func(rec []byte) error) (int64, error) {
+	if db.dir == "" {
+		return off, ErrNoDir
+	}
+	data, err := db.fs.ReadFile(filepath.Join(db.dir, segName(seq)))
+	if err != nil {
+		return off, err
+	}
+	if off > int64(len(data)) {
+		return off, fmt.Errorf("%w: offset %d beyond segment %d size %d", ErrReplDiverged, off, seq, len(data))
+	}
+	cr := &countingReader{r: bytes.NewReader(data[off:])}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	var good int64
+	for {
+		if _, err := readRecord(br); err != nil {
+			// io.EOF at a boundary, a torn tail, or mid-file corruption:
+			// in every case the bytes past the last boundary must not be
+			// shipped. The primary's own recovery/replay machinery owns
+			// deciding what they mean.
+			return off + good, nil
+		}
+		boundary := cr.n - int64(br.Buffered())
+		if err := emit(data[off+good : off+boundary]); err != nil {
+			return off + good, err
+		}
+		good = boundary
+	}
+}
+
+// replTailHashLen bounds the cursor-alignment hash window: the follower
+// hashes the last up-to-64 bytes it applied, and the primary verifies the
+// same window before resuming a stream.
+const replTailHashLen = 64
+
+// WALTailHash hashes (FNV-1a, 64 bit) the n bytes of segment seq that
+// precede offset off. Followers store this alongside their cursor;
+// VerifyWALTail compares it on reconnect.
+func (db *DB) WALTailHash(seq int, off int64, n int) (uint64, error) {
+	if db.dir == "" {
+		return 0, ErrNoDir
+	}
+	if n < 0 || int64(n) > off {
+		return 0, fmt.Errorf("%w: tail window %d exceeds offset %d", ErrReplDiverged, n, off)
+	}
+	data, err := db.fs.ReadFile(filepath.Join(db.dir, segName(seq)))
+	if err != nil {
+		return 0, err
+	}
+	if off > int64(len(data)) {
+		return 0, fmt.Errorf("%w: offset %d beyond segment %d size %d", ErrReplDiverged, off, seq, len(data))
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(data[off-int64(n) : off])
+	return h.Sum64(), nil
+}
+
+// VerifyWALTail checks that a follower cursor (seg, off, hash-of-last-n-
+// bytes) still matches this primary's WAL. It returns nil when the
+// follower may resume streaming from (seg, off); ErrReplDiverged when the
+// primary's history disagrees (the follower must full-resync); and
+// fs.ErrNotExist when the segment has been pruned (ditto).
+func (db *DB) VerifyWALTail(seq int, off int64, n int, sum uint64) error {
+	got, err := db.WALTailHash(seq, off, n)
+	if err != nil {
+		return err
+	}
+	if n > 0 && got != sum {
+		return fmt.Errorf("%w: tail hash mismatch at segment %d offset %d", ErrReplDiverged, seq, off)
+	}
+	return nil
+}
+
+// ApplyReplRecord decodes exactly one replicated WAL record and applies
+// it with recovery (loose) semantics, which makes re-application after a
+// reconnect idempotent. Trailing bytes after the record are corruption.
+func (db *DB) ApplyReplRecord(rec []byte) error {
+	cr := &countingReader{r: bytes.NewReader(rec)}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	r, err := readRecord(br)
+	if err != nil {
+		return fmt.Errorf("replicated record: %w", ErrCorrupt)
+	}
+	if cr.n-int64(br.Buffered()) != int64(len(rec)) {
+		return fmt.Errorf("replicated record has trailing bytes: %w", ErrCorrupt)
+	}
+	return applyRecord(db, r, true)
+}
+
+// ApplyGenerationStream replays a snapshot-generation byte stream (as
+// served by OpenGeneration) onto the database — the initial-sync path of
+// a follower. Tables are created as recorded (including partition counts)
+// and existing tables have the streamed stripes reset and reloaded.
+func (db *DB) ApplyGenerationStream(r io.Reader) error {
+	return applyGeneration(db, r)
+}
+
+// ResetTables clears every stripe of every table in place, leaving the
+// tables, schemas and index definitions intact (and every handle held by
+// callers valid). A follower uses it to discard divergent state before a
+// full resync.
+func (db *DB) ResetTables() {
+	for _, t := range db.tablesSorted() {
+		for pi := range t.parts {
+			t.resetPartition(pi)
+		}
+	}
+}
+
+// replHold records what one follower still needs on disk.
+type replHold struct {
+	wal  int   // lowest WAL segment still needed (0 = none)
+	gens []int // snapshot generations being served for initial sync
+}
+
+// replHolds returns (allocating as needed) the hold entry for id.
+// Caller must hold db.replMu.
+func (db *DB) replHolds(id string) *replHold {
+	if db.replHold == nil {
+		db.replHold = make(map[string]*replHold)
+	}
+	h, ok := db.replHold[id]
+	if !ok {
+		h = &replHold{}
+		db.replHold[id] = h
+	}
+	return h
+}
+
+// HoldWAL pins WAL segments >= seq against checkpoint pruning on behalf
+// of follower id, and releases any generation holds id registered (a
+// follower streaming the WAL is past its initial sync). Advancing
+// followers call it again with a higher seq to narrow the hold.
+func (db *DB) HoldWAL(id string, seq int) {
+	db.replMu.Lock()
+	h := db.replHolds(id)
+	h.wal = seq
+	h.gens = nil
+	db.replMu.Unlock()
+}
+
+// ReleaseReplHold drops every hold registered for follower id.
+func (db *DB) ReleaseReplHold(id string) {
+	db.replMu.Lock()
+	delete(db.replHold, id)
+	db.replMu.Unlock()
+}
+
+// minHeldWALSeq returns the lowest WAL segment any registered follower
+// still needs (0 = no holds).
+func (db *DB) minHeldWALSeq() int {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	min := 0
+	for _, h := range db.replHold {
+		if h.wal > 0 && (min == 0 || h.wal < min) {
+			min = h.wal
+		}
+	}
+	return min
+}
+
+// heldGenerations returns the set of generation numbers still being
+// served to syncing followers.
+func (db *DB) heldGenerations() map[int]bool {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	var held map[int]bool
+	for _, h := range db.replHold {
+		for _, g := range h.gens {
+			if held == nil {
+				held = make(map[int]bool)
+			}
+			held[g] = true
+		}
+	}
+	return held
+}

@@ -1,0 +1,62 @@
+package repltest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rdbms"
+)
+
+// TestSlowFollowerSurvivesCompaction throttles the link so the follower
+// is durably behind while the primary checkpoints repeatedly — each
+// checkpoint rotating the WAL and pruning superseded segments and
+// generations. The connected follower's prune hold must keep every
+// segment its cursor still needs: it finishes the replay from its
+// cursor, never full-resyncs, and converges exactly.
+func TestSlowFollowerSurvivesCompaction(t *testing.T) {
+	primary, proxy := NewLitePrimary(t)
+	// Wide rows make each burst a multi-chunk transfer under throttle.
+	wide, err := primary.DB.Table("articles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 256)
+	insertWide := func(lo, hi int64) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if _, err := wide.Insert(rdbms.Row{rdbms.Int(i), rdbms.String(fmt.Sprintf("row-%d-%s", i, pad))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	insertWide(0, 40)
+	if _, err := primary.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := NewLiteFollower(t, proxy, "f-slow", nil)
+	WaitCaughtUp(t, primary, follower, 10*time.Second)
+
+	// Throttled replay: every burst is followed immediately by a
+	// checkpoint, so rotation + prune always runs while the follower is
+	// still mid-transfer on the previous segment.
+	proxy.SetWALDelay(15 * time.Millisecond)
+	lo := int64(40)
+	for burst := 0; burst < 5; burst++ {
+		insertWide(lo, lo+120)
+		lo += 120
+		if _, err := primary.DB.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proxy.SetWALDelay(0)
+
+	WaitCaughtUp(t, primary, follower, 30*time.Second)
+	TablesEqual(t, primary.DB, follower.DB)
+	st := follower.Client.Status()
+	if st.FullResyncs != 1 {
+		t.Fatalf("full resyncs = %d: compaction pruned a held segment out from under the follower", st.FullResyncs)
+	}
+}

@@ -1,0 +1,141 @@
+package repltest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkCutMidStream drops the replication connection at assorted byte
+// budgets — tearing frames mid-record, mid-length and mid-heartbeat —
+// and pins that the follower never applies a partial record (tables
+// still converge exactly) and never needs a full resync: every
+// reconnect resumes from the verified cursor.
+func TestLinkCutMidStream(t *testing.T) {
+	primary, proxy := NewLitePrimary(t)
+	primary.InsertN(0, 30)
+	if _, err := primary.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	follower := NewLiteFollower(t, proxy, "f-link", nil)
+	WaitCaughtUp(t, primary, follower, 10*time.Second)
+
+	// Budgets chosen to land inside a frame type byte, a uvarint length,
+	// a record payload, and across flush chunks.
+	cuts := []int64{1, 2, 3, 7, 19, 64, 257, 900}
+	lo := int64(30)
+	for _, n := range cuts {
+		proxy.CutWALAfter(n)
+		primary.InsertN(lo, lo+25)
+		lo += 25
+		WaitCaughtUp(t, primary, follower, 15*time.Second)
+		TablesEqual(t, primary.DB, follower.DB)
+	}
+	st := follower.Client.Status()
+	if st.FullResyncs != 1 {
+		t.Fatalf("full resyncs = %d, want only the initial sync", st.FullResyncs)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("link cuts produced no reconnects — the chaos never fired")
+	}
+}
+
+// TestLinkOutage takes the link fully down mid-replay: requests fail
+// with 502 until the outage lifts, then the follower reconnects from its
+// cursor and reconverges without a resync.
+func TestLinkOutage(t *testing.T) {
+	primary, proxy := NewLitePrimary(t)
+	primary.InsertN(0, 20)
+	if _, err := primary.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	follower := NewLiteFollower(t, proxy, "f-outage", nil)
+	WaitCaughtUp(t, primary, follower, 10*time.Second)
+
+	proxy.CutWALAfter(40) // sever the live stream...
+	proxy.SetDown(true)   // ...and refuse reconnects
+	primary.InsertN(20, 70)
+	time.Sleep(300 * time.Millisecond) // a few failed reconnect rounds
+	proxy.SetDown(false)
+
+	WaitCaughtUp(t, primary, follower, 15*time.Second)
+	TablesEqual(t, primary.DB, follower.DB)
+	if st := follower.Client.Status(); st.FullResyncs != 1 {
+		t.Fatalf("full resyncs = %d, want only the initial sync", st.FullResyncs)
+	}
+}
+
+// TestPrimaryRestartMidStream restarts the primary process mid-replay.
+// rdbms.Close keeps every WAL segment on disk, so the reconnecting
+// follower's cursor still verifies against the reopened store and the
+// stream resumes without a resync — through the restart AND the
+// recovery-replayed tail.
+func TestPrimaryRestartMidStream(t *testing.T) {
+	primary, proxy := NewLitePrimary(t)
+	primary.InsertN(0, 25)
+	if _, err := primary.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	follower := NewLiteFollower(t, proxy, "f-prestart", nil)
+	WaitCaughtUp(t, primary, follower, 10*time.Second)
+
+	// Mid-replay restart: sever the link while new rows are in flight,
+	// close the primary cleanly, reopen it from the same filesystem.
+	primary.InsertN(25, 60)
+	proxy.CutWALAfter(100)
+	proxy.SetDown(true)
+	if err := primary.DB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Reopen(proxy)
+	proxy.SetDown(false)
+
+	WaitCaughtUp(t, primary, follower, 15*time.Second)
+	TablesEqual(t, primary.DB, follower.DB)
+	if st := follower.Client.Status(); st.FullResyncs != 1 {
+		t.Fatalf("full resyncs = %d, want only the initial sync", st.FullResyncs)
+	}
+
+	// The reopened primary keeps writing; the follower keeps following.
+	primary.InsertN(60, 90)
+	WaitCaughtUp(t, primary, follower, 15*time.Second)
+	TablesEqual(t, primary.DB, follower.DB)
+}
+
+// TestDivergedPrimaryForcesResync rebuilds the primary from scratch
+// (same URL, different history): the follower's cursor tail no longer
+// verifies, the primary answers 409/410, and the follower recovers by
+// resyncing — converging onto the NEW history.
+func TestDivergedPrimaryForcesResync(t *testing.T) {
+	primary, proxy := NewLitePrimary(t)
+	primary.InsertN(0, 30)
+	if _, err := primary.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	follower := NewLiteFollower(t, proxy, "f-diverge", nil)
+	// Rows past the checkpoint give the follower's cursor a non-empty
+	// tail window inside the live segment — the hash the replacement
+	// primary cannot reproduce. (A cursor sitting exactly at an empty
+	// segment boundary has no tail to disprove; swapping a primary's
+	// entire history underneath such a follower requires wiping it.)
+	primary.InsertN(30, 45)
+	WaitCaughtUp(t, primary, follower, 10*time.Second)
+
+	// A brand-new primary behind the same URL: different rows, different
+	// WAL bytes at the follower's cursor position. The established stream
+	// must be severed too — SetDown only refuses new connections.
+	proxy.SetDown(true)
+	proxy.CutWALAfter(1)
+	replacement, _ := NewLitePrimary(t)
+	replacement.InsertN(1000, 1080)
+	if _, err := replacement.DB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	proxy.SetBackend(replacement.SourceMux())
+	proxy.SetDown(false)
+
+	WaitCaughtUp(t, replacement, follower, 15*time.Second)
+	TablesEqual(t, replacement.DB, follower.DB)
+	if st := follower.Client.Status(); st.FullResyncs < 2 {
+		t.Fatalf("full resyncs = %d, want the divergence to force one", st.FullResyncs)
+	}
+}

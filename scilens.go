@@ -178,6 +178,9 @@ var (
 	ErrNotIngested = core.ErrNotIngested
 	// ErrNoData is returned by analytics jobs with an empty segment.
 	ErrNoData = analytics.ErrNoData
+	// ErrFollower is returned by write entry points on a follower replica
+	// (Config.ReplicaOf); writes go to the primary it names.
+	ErrFollower = core.ErrFollower
 )
 
 // New assembles a platform: broker topic, store schemas, warehouse cluster
@@ -215,6 +218,12 @@ func NewHTTPServer(p *Platform) http.Handler { return api.NewServer(p) }
 // /metrics, /api/version, /api/debug/traces and net/http/pprof — for a
 // separate, non-public listener (the -debug-addr flag of both commands).
 func NewDebugHandler() http.Handler { return api.DebugHandler() }
+
+// NewReplHandler mounts only the replication endpoints (manifest,
+// generation and WAL streaming) for a separate listener (-repl-addr),
+// keeping follower traffic off the public API address. The same routes
+// are always served on the main handler too.
+func NewReplHandler(p *Platform) http.Handler { return api.NewReplService(p) }
 
 // BootstrapConfig parameterises Bootstrap.
 type BootstrapConfig struct {
@@ -271,10 +280,12 @@ func Bootstrap(cfg BootstrapConfig) (*Platform, *World, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// A follower replica is populated by replication, never by local
+	// ingest — writes would be rejected with ErrFollower anyway.
+	recovered := pc.ReplicaOf != ""
 	// A durable platform that recovered a non-empty corpus already holds
 	// the world's rows (plus anything ingested since); re-streaming the
 	// synthetic firehose would only re-evaluate what is already stored.
-	recovered := false
 	if pc.DataDir != "" {
 		if tbl, err := platform.DB.Table(core.ArticlesTable); err == nil && tbl.Len() > 0 {
 			recovered = true
